@@ -1,0 +1,19 @@
+"""Appendix A: the 8-bit decrementer circuit (Table 3)."""
+
+from repro.experiments import figures
+
+from conftest import print_figure, run_once
+
+
+def test_appendix_a_decrementer(benchmark):
+    data = run_once(benchmark, figures.appendix_a_data)
+    print_figure("Appendix A, Table 3: decrementer gate-level implementation", data["table"])
+    print(
+        f"total gates={data['gate_count']}, transistors={data['transistor_count']}, "
+        f"critical path={data['critical_path_delay_ns']} ns, "
+        f"functional mismatches={data['functional_mismatches']}"
+    )
+    assert data["gate_count"] == 21
+    assert data["transistor_count"] == 96
+    assert data["functional_mismatches"] == 0
+    assert data["fits_within_trc"]

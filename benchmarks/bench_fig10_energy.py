@@ -1,0 +1,28 @@
+"""Fig. 10: DRAM energy of all evaluated mechanisms."""
+
+from repro.experiments import figures
+
+from conftest import BENCH_ACCESSES, BENCH_MIXES, BENCH_NRH_VALUES, print_figure, run_once
+
+
+def test_fig10_dram_energy(benchmark):
+    rows = run_once(
+        benchmark,
+        figures.fig10_data,
+        nrh_values=BENCH_NRH_VALUES,
+        mechanisms=("Chronus", "PRAC-4", "Graphene", "PRFM", "PARA"),
+        num_mixes=BENCH_MIXES,
+        accesses_per_core=BENCH_ACCESSES,
+    )
+    print_figure(
+        "Fig. 10: DRAM energy normalized to no mitigation, four-core mixes",
+        rows,
+        columns=("mechanism", "nrh", "normalized_energy"),
+    )
+    by_key = {(r["mechanism"], r["nrh"]): r["normalized_energy"] for r in rows}
+    # Chronus costs some extra energy (counter-subarray update) but less than
+    # PRAC, whose longer timings and frequent preventive refreshes dominate.
+    assert 1.0 < by_key[("Chronus", 1024)] < by_key[("PRAC-4", 1024)] + 0.05
+    assert by_key[("Chronus", 20)] < by_key[("PRAC-4", 20)]
+    # Energy overheads grow as N_RH shrinks for the industry mechanisms.
+    assert by_key[("PRFM", 20)] >= by_key[("PRFM", 1024)]

@@ -1,0 +1,22 @@
+"""Fig. 11: storage overhead of Chronus, PRAC, Graphene, Hydra and PRFM."""
+
+from repro.experiments import figures
+
+from conftest import print_figure, run_once
+
+
+def test_fig11_storage_overhead(benchmark):
+    rows = run_once(benchmark, figures.fig11_data)
+    print_figure(
+        "Fig. 11: storage overhead (64 banks x 128K rows)",
+        rows,
+        columns=("mechanism", "nrh", "dram_bytes", "cpu_bytes", "total_mib"),
+    )
+    by_key = {(r["mechanism"], r["nrh"]): r for r in rows}
+    # Chronus and PRAC store identical per-row counters in DRAM.
+    assert by_key[("Chronus", 1024)]["dram_bytes"] == by_key[("PRAC-4", 1024)]["dram_bytes"]
+    # Graphene's CAM grows dramatically as N_RH shrinks (paper: 50.3x).
+    growth = by_key[("Graphene", 20)]["cpu_bytes"] / by_key[("Graphene", 1024)]["cpu_bytes"]
+    assert growth > 30
+    # PRFM needs only one counter per bank (88 B at N_RH = 1K).
+    assert by_key[("PRFM", 1024)]["cpu_bytes"] == 88

@@ -1,0 +1,23 @@
+"""Fig. 12 (Appendix C): Chronus vs ABACuS with ABACuS's address mapping."""
+
+from repro.experiments import figures
+
+from conftest import BENCH_ACCESSES, BENCH_MIXES, BENCH_NRH_VALUES, print_figure, run_once
+
+
+def test_fig12_chronus_vs_abacus(benchmark):
+    rows = run_once(
+        benchmark,
+        figures.fig12_data,
+        nrh_values=BENCH_NRH_VALUES,
+        num_mixes=BENCH_MIXES,
+        accesses_per_core=BENCH_ACCESSES,
+    )
+    print_figure(
+        "Fig. 12: Chronus vs ABACuS (ABACuS address mapping)",
+        rows,
+        columns=("mechanism", "nrh", "normalized_ws", "performance_overhead"),
+    )
+    by_key = {(r["mechanism"], r["nrh"]): r for r in rows}
+    for nrh in BENCH_NRH_VALUES:
+        assert by_key[("Chronus", nrh)]["normalized_ws"] >= by_key[("ABACuS", nrh)]["normalized_ws"] - 0.02

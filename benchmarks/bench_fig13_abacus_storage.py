@@ -1,0 +1,22 @@
+"""Fig. 13 (Appendix C): storage of Chronus vs ABACuS."""
+
+from repro.experiments import figures
+
+from conftest import print_figure, run_once
+
+
+def test_fig13_abacus_storage(benchmark):
+    rows = run_once(benchmark, figures.fig13_data)
+    print_figure(
+        "Fig. 13: Chronus (DRAM) vs ABACuS (CPU CAM+SRAM) storage",
+        rows,
+        columns=("mechanism", "nrh", "dram_bytes", "cpu_bytes", "total_mib"),
+    )
+    by_key = {(r["mechanism"], r["nrh"]): r for r in rows}
+    # ABACuS keeps everything in the CPU and needs far less total storage,
+    # but its footprint grows quickly as N_RH shrinks (8 KB -> ~340 KB).
+    assert by_key[("ABACuS", 1024)]["dram_bytes"] == 0
+    assert by_key[("ABACuS", 1024)]["cpu_bytes"] < 16 * 1024
+    assert by_key[("ABACuS", 20)]["cpu_bytes"] > 10 * by_key[("ABACuS", 1024)]["cpu_bytes"]
+    # Chronus' DRAM-side counters dwarf ABACuS' SRAM but sit in cheap DRAM.
+    assert by_key[("Chronus", 1024)]["dram_bytes"] > by_key[("ABACuS", 1024)]["cpu_bytes"]

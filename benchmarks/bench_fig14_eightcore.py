@@ -1,0 +1,24 @@
+"""Fig. 14 (Appendix E): PRAC on eight-core, large-LLC homogeneous workloads."""
+
+from repro.experiments import figures
+
+from conftest import print_figure, run_once
+
+
+def test_fig14_eightcore_performance(benchmark):
+    rows = run_once(
+        benchmark,
+        figures.fig14_data,
+        nrh_values=(1024, 20),
+        applications=("523.xalancbmk", "519.lbm"),
+        accesses_per_core=800,
+    )
+    print_figure(
+        "Fig. 14: PRAC-4 on eight-core homogeneous workloads (large LLC)",
+        rows,
+        columns=("mechanism", "nrh", "normalized_ws", "performance_overhead"),
+    )
+    by_nrh = {r["nrh"]: r for r in rows}
+    # With the large LLC, PRAC's overhead at N_RH = 1K is small (paper: 2.4%),
+    # and it grows dramatically at N_RH = 20 (paper: 78.8%).
+    assert by_nrh[20]["performance_overhead"] >= by_nrh[1024]["performance_overhead"]

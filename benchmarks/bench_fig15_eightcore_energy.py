@@ -1,0 +1,24 @@
+"""Fig. 15 (Appendix E): PRAC DRAM energy on the eight-core configuration."""
+
+from repro.experiments import figures
+
+from conftest import print_figure, run_once
+
+
+def test_fig15_eightcore_energy(benchmark):
+    rows = run_once(
+        benchmark,
+        figures.fig15_data,
+        nrh_values=(1024, 20),
+        applications=("523.xalancbmk", "519.lbm"),
+        accesses_per_core=800,
+    )
+    print_figure(
+        "Fig. 15: PRAC-4 DRAM energy, eight-core homogeneous workloads",
+        rows,
+        columns=("mechanism", "nrh", "normalized_energy"),
+    )
+    by_nrh = {r["nrh"]: r for r in rows}
+    # Energy overhead is non-negligible at N_RH = 1K and grows at N_RH = 20.
+    assert by_nrh[1024]["normalized_energy"] >= 1.0
+    assert by_nrh[20]["normalized_energy"] >= by_nrh[1024]["normalized_energy"]

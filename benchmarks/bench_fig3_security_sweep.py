@@ -1,0 +1,34 @@
+"""Fig. 3: maximum activations a wave attack achieves under PRFM and PRAC-N."""
+
+from repro.experiments import figures
+
+from conftest import print_figure, run_once
+
+
+def test_fig3a_prfm_security_sweep(benchmark):
+    rows = run_once(benchmark, figures.fig3a_data)
+    print_figure(
+        "Fig. 3a: max ACTs to a single row under PRFM",
+        rows,
+        columns=("rfm_threshold", "initial_rows", "max_acts"),
+    )
+    by_key = {(r["rfm_threshold"], r["initial_rows"]): r["max_acts"] for r in rows}
+    # Larger RFM thresholds allow the attacker more activations.
+    assert by_key[(256, 2048)] > by_key[(2, 2048)]
+    # Only very small thresholds keep the attack below N_RH = 32.
+    assert max(by_key[(2, r1)] for r1 in (2048, 65536)) < 32
+
+
+def test_fig3b_prac_security_sweep(benchmark):
+    rows = run_once(benchmark, figures.fig3b_data)
+    print_figure(
+        "Fig. 3b: worst-case max ACTs to a single row under PRAC-N",
+        rows,
+        columns=("nbo", "nref", "max_acts"),
+    )
+    by_key = {(r["nbo"], r["nref"]): r["max_acts"] for r in rows}
+    # PRAC-4 at NBO=1 bounds the attacker near 20 activations (paper: 19).
+    assert by_key[(1, 4)] < 25
+    # Larger back-off thresholds and fewer RFMs per back-off are weaker.
+    assert by_key[(256, 4)] > by_key[(1, 4)]
+    assert by_key[(1, 1)] >= by_key[(1, 4)]

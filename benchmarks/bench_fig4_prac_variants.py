@@ -1,0 +1,31 @@
+"""Fig. 4: performance of the industry mechanisms (PRAC / RFM variants)."""
+
+from repro.experiments import figures
+
+from conftest import BENCH_ACCESSES, BENCH_MIXES, BENCH_NRH_VALUES, print_figure, run_once
+
+
+def test_fig4_prac_and_rfm_variants(benchmark):
+    rows = run_once(
+        benchmark,
+        figures.fig4_data,
+        nrh_values=BENCH_NRH_VALUES,
+        mechanisms=("PRAC-4", "PRAC-1", "PRAC+PRFM", "PRFM"),
+        num_mixes=BENCH_MIXES,
+        accesses_per_core=BENCH_ACCESSES,
+    )
+    print_figure(
+        "Fig. 4: normalized weighted speedup of PRAC / RFM configurations",
+        rows,
+        columns=("mechanism", "nrh", "normalized_ws", "performance_overhead", "is_secure"),
+    )
+    by_key = {(r["mechanism"], r["nrh"]): r for r in rows}
+    # Overheads grow as N_RH shrinks.
+    assert (
+        by_key[("PRAC-4", 20)]["normalized_ws"]
+        <= by_key[("PRAC-4", 1024)]["normalized_ws"] + 0.02
+    )
+    # PRAC has a non-negligible overhead even at N_RH = 1K (timing changes).
+    assert by_key[("PRAC-4", 1024)]["performance_overhead"] > 0.0
+    # PRFM becomes expensive at very low thresholds.
+    assert by_key[("PRFM", 20)]["performance_overhead"] > by_key[("PRFM", 1024)]["performance_overhead"]

@@ -1,0 +1,38 @@
+"""Fig. 7: single-core performance of all mechanisms at N_RH = 1K and 32."""
+
+from repro.experiments import figures
+
+from conftest import BENCH_ACCESSES, print_figure, run_once
+
+
+APPLICATIONS = ("549.fotonik3d", "429.mcf", "462.libquantum", "483.xalancbmk")
+MECHANISMS = ("Chronus", "Chronus-PB", "PRAC-4", "Graphene", "Hydra", "PARA")
+
+
+def test_fig7_single_core(benchmark):
+    rows = run_once(
+        benchmark,
+        figures.fig7_data,
+        nrh_values=(1024, 32),
+        mechanisms=MECHANISMS,
+        applications=APPLICATIONS,
+        accesses_per_core=BENCH_ACCESSES,
+    )
+    print_figure(
+        "Fig. 7: single-core normalized speedup",
+        rows,
+        columns=("nrh", "mechanism", "application", "normalized_speedup"),
+    )
+
+    def mean(mechanism, nrh):
+        values = [
+            r["normalized_speedup"]
+            for r in rows
+            if r["mechanism"] == mechanism and r["nrh"] == nrh
+        ]
+        return sum(values) / len(values)
+
+    # Chronus has the lowest overhead at the modern threshold ...
+    assert mean("Chronus", 1024) >= mean("PRAC-4", 1024)
+    # ... and still outperforms PRAC at the future threshold.
+    assert mean("Chronus", 32) >= mean("PRAC-4", 32)

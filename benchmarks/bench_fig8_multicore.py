@@ -1,0 +1,28 @@
+"""Fig. 8: multi-core performance of all evaluated mechanisms."""
+
+from repro.experiments import figures
+
+from conftest import BENCH_ACCESSES, BENCH_MIXES, BENCH_NRH_VALUES, print_figure, run_once
+
+
+def test_fig8_multicore_performance(benchmark):
+    rows = run_once(
+        benchmark,
+        figures.fig8_data,
+        nrh_values=BENCH_NRH_VALUES,
+        mechanisms=("Chronus", "Chronus-PB", "PRAC-4", "Graphene", "Hydra", "PRFM", "PARA"),
+        num_mixes=BENCH_MIXES,
+        accesses_per_core=BENCH_ACCESSES,
+    )
+    print_figure(
+        "Fig. 8: normalized weighted speedup, four-core mixes",
+        rows,
+        columns=("mechanism", "nrh", "normalized_ws", "performance_overhead",
+                 "backoffs_per_mcycle", "is_secure"),
+    )
+    by_key = {(r["mechanism"], r["nrh"]): r for r in rows}
+    for nrh in BENCH_NRH_VALUES:
+        # Chronus outperforms PRAC-4 at every evaluated threshold.
+        assert by_key[("Chronus", nrh)]["normalized_ws"] >= by_key[("PRAC-4", nrh)]["normalized_ws"]
+    # Chronus stays near-zero overhead at the modern threshold.
+    assert by_key[("Chronus", 1024)]["performance_overhead"] < 0.05

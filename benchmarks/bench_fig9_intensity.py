@@ -1,0 +1,27 @@
+"""Fig. 9: sensitivity to workload memory intensity at N_RH = 32."""
+
+from repro.experiments import figures
+
+from conftest import BENCH_ACCESSES, print_figure, run_once
+
+
+def test_fig9_memory_intensity(benchmark):
+    rows = run_once(
+        benchmark,
+        figures.fig9_data,
+        nrh=32,
+        mechanisms=("Chronus", "PRAC-4", "PRFM"),
+        mixes_per_type=1,
+        accesses_per_core=BENCH_ACCESSES,
+    )
+    print_figure(
+        "Fig. 9: normalized weighted speedup per workload intensity type (N_RH = 32)",
+        rows,
+        columns=("mix_type", "mechanism", "normalized_ws"),
+    )
+    by_key = {(r["mix_type"], r["mechanism"]): r["normalized_ws"] for r in rows}
+    for mix_type in figures.MIX_TYPES:
+        # Chronus is the best mechanism for every intensity class.
+        assert by_key[(mix_type, "Chronus")] >= by_key[(mix_type, "PRAC-4")] - 1e-9
+    # Overheads are larger for memory-intensive mixes than cache-resident ones.
+    assert by_key[("HHHH", "PRAC-4")] <= by_key[("LLLL", "PRAC-4")] + 0.02

@@ -1,0 +1,41 @@
+"""§11 + Appendix D: memory performance (denial-of-memory-service) attack."""
+
+from repro.experiments import figures
+
+from conftest import print_figure, run_once
+
+
+def test_sec11_theoretical_bandwidth_bounds(benchmark):
+    rows = run_once(benchmark, figures.sec11_theory_data, nrh_values=(128, 20))
+    print_figure(
+        "S11 theory: worst-case DRAM bandwidth consumed by preventive refreshes",
+        rows,
+        columns=("mechanism", "nrh", "nbo", "nref", "max_bandwidth_consumption"),
+    )
+    by_key = {(r["mechanism"], r["nrh"]): r["max_bandwidth_consumption"] for r in rows}
+    # Paper: ~94% for PRAC vs ~32% for Chronus at N_RH = 20.
+    assert by_key[("PRAC-4", 20)] > 0.8
+    assert by_key[("Chronus", 20)] < 0.4
+
+
+def test_sec11_performance_attack_simulation(benchmark):
+    rows = run_once(
+        benchmark,
+        figures.sec11_simulation_data,
+        nrh_values=(128, 20),
+        mechanisms=("PRAC-4", "Chronus"),
+        num_mixes=1,
+        accesses_per_core=1200,
+        attack_accesses=6000,
+    )
+    print_figure(
+        "S11 simulation: benign-core slowdown under a memory performance attack",
+        rows,
+        columns=("mechanism", "nrh", "mean_performance_loss", "max_slowdown"),
+    )
+    by_key = {(r["mechanism"], r["nrh"]): r for r in rows}
+    # Chronus bounds the damage better than PRAC at the future threshold.
+    assert (
+        by_key[("Chronus", 20)]["mean_performance_loss"]
+        <= by_key[("PRAC-4", 20)]["mean_performance_loss"] + 0.02
+    )

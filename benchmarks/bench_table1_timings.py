@@ -1,0 +1,14 @@
+"""Table 1: DRAM timing parameter changes with PRAC."""
+
+from repro.experiments import figures
+
+from conftest import print_figure, run_once
+
+
+def test_table1_timing_parameters(benchmark):
+    rows = run_once(benchmark, figures.table1_data)
+    print_figure("Table 1: DRAM timing parameters (ns), DDR5-3200AN", rows)
+    by_param = {row["parameter"]: row for row in rows}
+    assert by_param["tRP"]["prac_ns"] > by_param["tRP"]["no_prac_ns"]
+    assert by_param["tRC"]["prac_ns"] > by_param["tRC"]["no_prac_ns"]
+    assert by_param["tRAS"]["prac_ns"] < by_param["tRAS"]["no_prac_ns"]

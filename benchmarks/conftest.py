@@ -1,0 +1,52 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  The
+simulations are scaled down (few mixes, a few thousand memory accesses per
+core) so the whole suite runs on a laptop; the *shape* of each figure -- which
+mechanism wins, how overheads scale with the RowHammer threshold -- is what
+the benchmarks reproduce and print.  EXPERIMENTS.md records the output of a
+full run next to the paper's numbers.
+
+Each benchmark runs exactly once (``rounds=1``): the interesting output is the
+figure data itself, the wall-clock time is reported by pytest-benchmark as a
+bonus.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Sequence
+
+import pytest
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+#: Memory accesses per core used by the scaled-down simulation benchmarks.
+#: Override with REPRO_BENCH_ACCESSES for a larger (slower, more faithful) run.
+BENCH_ACCESSES = _env_int("REPRO_BENCH_ACCESSES", 1500)
+
+#: Workload mixes per sweep point (REPRO_BENCH_MIXES overrides; the paper uses 60).
+BENCH_MIXES = _env_int("REPRO_BENCH_MIXES", 1)
+
+#: RowHammer thresholds swept by the scaled-down benchmarks (a subset of the
+#: paper's 1K..20 sweep that still shows the trend and the crossover).
+BENCH_NRH_VALUES = (1024, 128, 20)
+
+
+def run_once(benchmark, function: Callable, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def print_figure(title: str, rows: Sequence[dict], columns: Sequence[str] | None = None) -> None:
+    """Print a reproduced figure/table in a uniform format."""
+    from repro.experiments.figures import format_rows
+
+    print(f"\n=== {title} ===")
+    print(format_rows(rows, columns))

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Security analysis walkthrough (§5, §8 and §11 of the paper).
+
+Reproduces, analytically:
+
+* the wave-attack sweep of Fig. 3 (how many activations an attacker can
+  force under PRFM and PRAC-N before a victim is refreshed),
+* the secure-configuration selection used by the performance experiments,
+* Chronus' closed-form security bound, and
+* the worst-case DRAM-bandwidth consumption of the §11 performance attack.
+
+Run with::
+
+    python examples/security_analysis.py
+"""
+
+from repro.analysis.bandwidth import chronus_max_bandwidth_consumption, prac_max_bandwidth_consumption
+from repro.analysis.security import (
+    chronus_max_activations,
+    chronus_secure_backoff_threshold,
+    minimum_secure_nrh_prac,
+    prac_max_activations,
+    prfm_max_activations,
+    secure_prac_backoff_threshold,
+    secure_prfm_threshold,
+)
+
+
+def main() -> None:
+    print("=== Wave attack vs PRFM (Fig. 3a) ===")
+    print("RFMth   |R1|=2K  |R1|=64K")
+    for rfm_th in (2, 4, 16, 64, 256):
+        small = prfm_max_activations(rfm_th, 2048)
+        large = prfm_max_activations(rfm_th, 65536)
+        print(f"{rfm_th:5d}   {small:7d}  {large:8d}")
+
+    print("\n=== Wave attack vs PRAC-N (Fig. 3b, worst case over |R1|) ===")
+    print("NBO    PRAC-1  PRAC-2  PRAC-4")
+    for nbo in (1, 4, 16, 64, 256):
+        row = [
+            max(prac_max_activations(nbo, nref, r1) for r1 in (2048, 8192, 65536))
+            for nref in (1, 2, 4)
+        ]
+        print(f"{nbo:4d}   {row[0]:6d}  {row[1]:6d}  {row[2]:6d}")
+    print(f"PRAC-4 can be configured securely down to N_RH = {minimum_secure_nrh_prac(4)}")
+
+    print("\n=== Secure configurations used by the performance experiments ===")
+    print("N_RH    PRFM RFMth   PRAC-4 NBO   Chronus NBO   Chronus bound")
+    for nrh in (1024, 256, 64, 32, 20):
+        try:
+            rfm_th = str(secure_prfm_threshold(nrh))
+        except ValueError:
+            rfm_th = "none"
+        try:
+            prac_nbo = str(secure_prac_backoff_threshold(nrh, 4))
+        except ValueError:
+            prac_nbo = "none"
+        chronus_nbo = chronus_secure_backoff_threshold(nrh)
+        bound = chronus_max_activations(chronus_nbo)
+        print(f"{nrh:5d}   {rfm_th:>10s}   {prac_nbo:>10s}   {chronus_nbo:11d}   {bound:13d}")
+
+    print("\n=== Memory performance attack bounds (S11 / Appendix D) ===")
+    for nrh in (128, 20):
+        prac = prac_max_bandwidth_consumption(nrh)
+        chronus = chronus_max_bandwidth_consumption(nrh)
+        print(
+            f"N_RH={nrh:4d}: an attacker can consume up to {prac:.0%} of DRAM time "
+            f"under PRAC-4 but only {chronus:.0%} under Chronus"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The pyproject.toml metadata is authoritative; this file exists so that
+editable installs work in offline environments whose setuptools predates the
+bundled ``bdist_wheel`` command (pip falls back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,38 @@
+"""repro: a from-scratch reproduction of Chronus (HPCA 2025).
+
+The package implements a cycle-level DDR5 simulation substrate, the PRAC /
+RFM industry read-disturbance mitigations, the Chronus proposal, academic
+baselines (Graphene, Hydra, PARA, ABACuS, PRFM), the analytical security and
+bandwidth-attack models, synthetic workloads, a DRAM energy model and the
+experiment harness that regenerates the paper's tables and figures.
+
+Quickstart::
+
+    from repro import paper_system_config, simulate
+    from repro.workloads import build_mix_traces, workload_mixes
+
+    mix = workload_mixes()[0]
+    traces = build_mix_traces(mix, accesses_per_core=2000)
+    result = simulate(paper_system_config(mechanism="Chronus", nrh=1024), traces)
+    print(result.core_ipcs, result.energy_nj)
+"""
+
+from repro.system.config import SystemConfig, appendix_e_system_config, paper_system_config
+from repro.system.simulator import SystemSimulator, simulate
+from repro.system.metrics import SimulationResult, weighted_speedup
+from repro.core.factory import MECHANISM_NAMES, build_mechanism
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SystemConfig",
+    "paper_system_config",
+    "appendix_e_system_config",
+    "SystemSimulator",
+    "simulate",
+    "SimulationResult",
+    "weighted_speedup",
+    "MECHANISM_NAMES",
+    "build_mechanism",
+    "__version__",
+]

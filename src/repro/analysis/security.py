@@ -1,0 +1,382 @@
+"""Wave-attack security analysis of PRFM, PRAC and Chronus (§5 and §8).
+
+The *wave attack* (also called the *feinting attack*) hammers a large set of
+decoy rows in a balanced way so that the mitigation mechanism can only
+preventively refresh a small subset of them per preventive action.  The
+attacker drops mitigated rows from subsequent rounds, so the last surviving
+row accumulates the highest possible activation count.
+
+This module implements:
+
+* ``prfm_max_activations``  -- Eq. 1 of the paper (PRFM).
+* ``prac_max_activations``  -- Eq. 2 of the paper (PRAC-N back-off).
+* ``chronus_max_activations`` -- the closed-form bound of §8
+  (``A(i) <= NBO + Anormal``).
+* configuration sweeps reproducing Fig. 3a and Fig. 3b,
+* the *secure configuration* selection used by the performance experiments
+  (largest RFMth / NBO that keeps the attacker below ``N_RH``), and
+* the Aggressor Tracking Table sizing rule (``Anormal + 1`` entries).
+
+All durations are taken in nanoseconds so the analysis is independent of the
+simulator's clock discretisation (matching the paper, which works in ns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class SecurityParameters:
+    """Physical parameters of the security analysis (§5, "Key Parameters")."""
+
+    #: Row cycle time without PRAC (ns).
+    trc_ns: float = 47.0
+    #: Row cycle time with PRAC timings (ns).
+    trc_prac_ns: float = 52.0
+    #: Refresh-management latency: time to refresh the victims of one
+    #: aggressor row (ns).
+    trfm_ns: float = 350.0
+    #: Refresh window (ns); victims are periodically refreshed once per
+    #: window, so the attack must complete within it.
+    trefw_ns: float = 32_000_000.0
+    #: Window of normal traffic after a back-off is observed (ns).
+    taboact_ns: float = 180.0
+    #: Blast radius (victim rows on each side of an aggressor).
+    blast_radius: int = 2
+
+    @property
+    def normal_traffic_activations(self) -> int:
+        """``Anormal``: activations to a single row during tABOACT (PRAC timings)."""
+        return int(self.taboact_ns // self.trc_prac_ns)
+
+    @property
+    def normal_traffic_activations_chronus(self) -> int:
+        """``Anormal`` with Chronus (CCU restores the non-PRAC tRC)."""
+        return int(self.taboact_ns // self.trc_ns)
+
+
+DEFAULT_PARAMETERS = SecurityParameters()
+
+
+# ---------------------------------------------------------------------------
+# PRFM (periodic RFM) -- Eq. 1
+# ---------------------------------------------------------------------------
+
+def prfm_max_activations(
+    rfm_threshold: int,
+    initial_rows: int,
+    params: SecurityParameters = DEFAULT_PARAMETERS,
+    max_rounds: int = 1 << 16,
+) -> int:
+    """Maximum activations a single row can receive under PRFM (Eq. 1).
+
+    The attacker hammers every row of the starting set once per round.  The
+    memory controller issues one RFM per ``rfm_threshold`` activations, and
+    each RFM mitigates (refreshes the victims of) one aggressor row.  Rows
+    whose victims were refreshed are dropped from later rounds.
+
+    Args:
+        rfm_threshold: bank activation threshold to issue an RFM (``RFMth``).
+        initial_rows: starting row-set size ``|R1|``.
+        params: physical parameters (timings, refresh window).
+        max_rounds: safety bound on the number of simulated rounds.
+
+    Returns:
+        The highest activation count any single row reaches before its
+        victims are refreshed (bounded by the refresh window).
+    """
+    if rfm_threshold <= 0:
+        raise ValueError("rfm_threshold must be positive")
+    if initial_rows <= 0:
+        raise ValueError("initial_rows must be positive")
+
+    remaining = initial_rows
+    cumulative_acts = 0
+    elapsed_ns = 0.0
+    rounds_survived = 0
+
+    for _ in range(max_rounds):
+        if remaining <= 0:
+            break
+        # One round: each remaining row is activated once.
+        round_acts = remaining
+        rfms_this_round = (cumulative_acts + round_acts) // rfm_threshold - (
+            cumulative_acts // rfm_threshold
+        )
+        round_time = round_acts * params.trc_ns + rfms_this_round * params.trfm_ns
+        if elapsed_ns + round_time > params.trefw_ns:
+            # The refresh window closes before the round completes: victims
+            # are periodically refreshed, ending the attack.
+            break
+        elapsed_ns += round_time
+        cumulative_acts += round_acts
+        rounds_survived += 1
+        mitigated_total = cumulative_acts // rfm_threshold
+        remaining = initial_rows - mitigated_total
+
+    return rounds_survived
+
+
+def prfm_security_sweep(
+    rfm_thresholds: Sequence[int],
+    initial_row_sizes: Sequence[int],
+    params: SecurityParameters = DEFAULT_PARAMETERS,
+) -> Dict[int, Dict[int, int]]:
+    """Reproduce Fig. 3a: max activations vs ``RFMth`` for several ``|R1|``.
+
+    Returns ``{rfm_threshold: {initial_rows: max_acts}}``.
+    """
+    return {
+        rfm_th: {
+            r1: prfm_max_activations(rfm_th, r1, params) for r1 in initial_row_sizes
+        }
+        for rfm_th in rfm_thresholds
+    }
+
+
+# ---------------------------------------------------------------------------
+# PRAC-N back-off -- Eq. 2
+# ---------------------------------------------------------------------------
+
+def prac_max_activations(
+    nbo: int,
+    nref: int,
+    initial_rows: int,
+    ndelay: Optional[int] = None,
+    params: SecurityParameters = DEFAULT_PARAMETERS,
+    max_rounds: int = 1 << 16,
+) -> int:
+    """Maximum activations a single row can receive under PRAC-N (Eq. 2).
+
+    The attacker first brings every row of the starting set to ``NBO - 1``
+    activations (no back-off yet), then runs wave-attack rounds.  At least one
+    row stays above ``NBO`` across rounds, so the device asserts back-offs as
+    frequently as it can; each back-off period allows
+    ``NDelay + tABOACT / tRC`` attacker activations and mitigates ``NRef``
+    rows.  The surviving row additionally receives ``Anormal`` activations
+    during the final window of normal traffic.
+
+    Args:
+        nbo: back-off threshold (absolute activation count).
+        nref: RFM commands issued per back-off (PRAC-1/2/4).
+        initial_rows: starting row-set size ``|R1|``.
+        ndelay: activations required before a new back-off (defaults to
+            ``nref``, as the DDR5 specification ties them together).
+        params: physical parameters.
+        max_rounds: safety bound on the number of simulated rounds.
+
+    Returns:
+        The highest activation count any single row reaches before its
+        victims are refreshed.
+    """
+    if nbo <= 0:
+        raise ValueError("nbo must be positive")
+    if nref <= 0:
+        raise ValueError("nref must be positive")
+    if initial_rows <= 0:
+        raise ValueError("initial_rows must be positive")
+    if ndelay is None:
+        ndelay = nref
+
+    trc = params.trc_prac_ns
+    window_acts = ndelay + params.taboact_ns / trc
+
+    # Phase 0: initialise every row to NBO - 1 activations.
+    init_acts = initial_rows * (nbo - 1)
+    elapsed_ns = init_acts * trc
+    if elapsed_ns > params.trefw_ns:
+        # The attacker cannot even complete initialisation before the
+        # refresh window closes; scale the row set down implicitly by
+        # reporting what the time budget allows.
+        return min(nbo - 1 + params.normal_traffic_activations,
+                   int(params.trefw_ns // trc))
+
+    remaining = initial_rows
+    cumulative_acts = 0
+    rounds_survived = 0
+
+    for _ in range(max_rounds):
+        if remaining <= 0:
+            break
+        round_acts = remaining
+        prev_backoffs = int(cumulative_acts / window_acts)
+        new_backoffs = int((cumulative_acts + round_acts) / window_acts)
+        backoffs_this_round = new_backoffs - prev_backoffs
+        round_time = (
+            round_acts * trc + backoffs_this_round * nref * params.trfm_ns
+        )
+        if elapsed_ns + round_time > params.trefw_ns:
+            break
+        elapsed_ns += round_time
+        cumulative_acts += round_acts
+        rounds_survived += 1
+        mitigated_total = nref * int(cumulative_acts / window_acts)
+        remaining = initial_rows - mitigated_total
+
+    return (nbo - 1) + rounds_survived + params.normal_traffic_activations
+
+
+def prac_security_sweep(
+    backoff_thresholds: Sequence[int],
+    nrefs: Sequence[int],
+    initial_row_sizes: Sequence[int],
+    params: SecurityParameters = DEFAULT_PARAMETERS,
+) -> Dict[int, Dict[int, int]]:
+    """Reproduce Fig. 3b: worst-case max activations vs ``NBO`` per PRAC-N.
+
+    For each (``NBO``, ``NRef``) pair, the worst case over all starting row
+    set sizes is reported (matching the figure, which plots the worst-case
+    ``|R1|``).
+
+    Returns ``{nbo: {nref: worst_case_max_acts}}``.
+    """
+    sweep: Dict[int, Dict[int, int]] = {}
+    for nbo in backoff_thresholds:
+        sweep[nbo] = {}
+        for nref in nrefs:
+            sweep[nbo][nref] = max(
+                prac_max_activations(nbo, nref, r1, params=params)
+                for r1 in initial_row_sizes
+            )
+    return sweep
+
+
+# ---------------------------------------------------------------------------
+# Chronus -- §8 closed form
+# ---------------------------------------------------------------------------
+
+def chronus_max_activations(
+    nbo: int, params: SecurityParameters = DEFAULT_PARAMETERS
+) -> int:
+    """Upper bound on activations to a single row under Chronus (§8).
+
+    Chronus accurately tracks every row (P1), can trigger a back-off at any
+    time (P2) and keeps the back-off asserted until every row above the
+    threshold has been refreshed (P3), so a row can receive at most
+    ``NBO + Anormal`` activations.
+    """
+    if nbo <= 0:
+        raise ValueError("nbo must be positive")
+    return nbo + params.normal_traffic_activations_chronus
+
+
+def chronus_secure_backoff_threshold(
+    nrh: int,
+    params: SecurityParameters = DEFAULT_PARAMETERS,
+    counter_width_bits: int = 8,
+) -> int:
+    """Largest secure back-off threshold for Chronus at a given ``N_RH``.
+
+    Chronus is secure whenever ``NBO < N_RH - Anormal`` (§8).  The counter
+    subarray stores ``counter_width_bits``-bit counters, so the threshold is
+    additionally capped at ``2**counter_width_bits``.
+    """
+    if nrh <= 0:
+        raise ValueError("nrh must be positive")
+    anormal = params.normal_traffic_activations_chronus
+    nbo = min(nrh - anormal - 1, 2 ** counter_width_bits)
+    if nbo < 1:
+        raise ValueError(
+            f"Chronus cannot be configured securely for N_RH={nrh} "
+            f"(Anormal={anormal})"
+        )
+    return nbo
+
+
+def att_required_entries(
+    params: SecurityParameters = DEFAULT_PARAMETERS, prac_timings: bool = False
+) -> int:
+    """Minimum Aggressor Tracking Table size (§8).
+
+    An attacker can force at most ``Anormal + 1`` rows to reach ``NBO``
+    activations before the recovery period starts, so the ATT must hold at
+    least that many entries.
+    """
+    anormal = (
+        params.normal_traffic_activations
+        if prac_timings
+        else params.normal_traffic_activations_chronus
+    )
+    return anormal + 1
+
+
+# ---------------------------------------------------------------------------
+# Secure-configuration selection (used by the performance experiments)
+# ---------------------------------------------------------------------------
+
+#: Starting row-set sizes used when searching for worst-case wave attacks
+#: (matches the legend of Fig. 3a).
+DEFAULT_ROW_SET_SIZES: Tuple[int, ...] = (2048, 4096, 8192, 16384, 32768, 65536)
+
+#: Candidate RFM thresholds for PRFM (x-axis of Fig. 3a).
+DEFAULT_RFM_THRESHOLDS: Tuple[int, ...] = (2, 3, 4, 8, 16, 32, 64, 80, 128, 256)
+
+#: Candidate back-off thresholds for PRAC (x-axis of Fig. 3b).
+DEFAULT_BACKOFF_THRESHOLDS: Tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8, 16, 32, 64, 128, 256)
+
+
+def secure_prfm_threshold(
+    nrh: int,
+    candidate_thresholds: Sequence[int] = DEFAULT_RFM_THRESHOLDS,
+    row_set_sizes: Sequence[int] = DEFAULT_ROW_SET_SIZES,
+    params: SecurityParameters = DEFAULT_PARAMETERS,
+) -> int:
+    """Largest ``RFMth`` that keeps the wave attack below ``N_RH``.
+
+    Raises ``ValueError`` if no candidate threshold is secure.
+    """
+    secure = [
+        rfm_th
+        for rfm_th in candidate_thresholds
+        if all(
+            prfm_max_activations(rfm_th, r1, params) < nrh for r1 in row_set_sizes
+        )
+    ]
+    if not secure:
+        raise ValueError(f"PRFM cannot be configured securely for N_RH={nrh}")
+    return max(secure)
+
+
+def secure_prac_backoff_threshold(
+    nrh: int,
+    nref: int,
+    candidate_thresholds: Sequence[int] = DEFAULT_BACKOFF_THRESHOLDS,
+    row_set_sizes: Sequence[int] = DEFAULT_ROW_SET_SIZES,
+    params: SecurityParameters = DEFAULT_PARAMETERS,
+) -> int:
+    """Largest ``NBO`` that keeps the wave attack below ``N_RH`` for PRAC-N.
+
+    Raises ``ValueError`` if no candidate threshold is secure (e.g. PRAC-1 at
+    very low ``N_RH`` values, as the paper reports).
+    """
+    secure = [
+        nbo
+        for nbo in candidate_thresholds
+        if all(
+            prac_max_activations(nbo, nref, r1, params=params) < nrh
+            for r1 in row_set_sizes
+        )
+    ]
+    if not secure:
+        raise ValueError(
+            f"PRAC-{nref} cannot be configured securely for N_RH={nrh}"
+        )
+    return max(secure)
+
+
+def minimum_secure_nrh_prac(
+    nref: int,
+    params: SecurityParameters = DEFAULT_PARAMETERS,
+    row_set_sizes: Sequence[int] = DEFAULT_ROW_SET_SIZES,
+) -> int:
+    """Smallest ``N_RH`` at which PRAC-N can be configured securely.
+
+    The paper reports this value to be 20 for PRAC-4 (a row can receive at
+    most 19 activations when ``NBO = 1``).
+    """
+    worst = max(
+        prac_max_activations(1, nref, r1, params=params) for r1 in row_set_sizes
+    )
+    return worst + 1

@@ -1,0 +1,30 @@
+"""Memory controller substrate.
+
+Implements the request queues, FR-FCFS+Cap scheduling policy, DRAM address
+mappings, periodic refresh management, the RFM / back-off protocol handling,
+and the hosting of controller-side mitigation mechanisms -- i.e. everything
+Table 2 of the paper configures on the memory-controller side.
+"""
+
+from repro.controller.request import MemoryRequest, RequestType
+from repro.controller.address_mapping import (
+    AddressMapping,
+    abacus_mapping,
+    mop_mapping,
+    robarracoch_mapping,
+    mapping_by_name,
+)
+from repro.controller.scheduler import FrFcfsCapScheduler
+from repro.controller.controller import MemoryController
+
+__all__ = [
+    "MemoryRequest",
+    "RequestType",
+    "AddressMapping",
+    "mop_mapping",
+    "robarracoch_mapping",
+    "abacus_mapping",
+    "mapping_by_name",
+    "FrFcfsCapScheduler",
+    "MemoryController",
+]

@@ -1,0 +1,197 @@
+"""Physical-address to DRAM-coordinate mappings.
+
+The paper's main evaluation uses the MOP (Minimalist Open Page) address
+mapping (Table 2); the storage / related-work discussion also mentions
+RoBaRaCoCh, and Appendix C evaluates ABACuS with ABACuS's own mapping.  All
+three are implemented here as bit-field permutations of the physical address,
+which keeps them trivially bijective (verified by property-based tests).
+
+A mapping is described by the order of address fields from the least
+significant bit upwards; every field's width is derived from the DRAM
+organization.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.dram.organization import DramAddress, DramOrganization
+
+
+def _bits_for(count: int) -> int:
+    """Number of address bits needed to index ``count`` items."""
+    if count <= 0:
+        raise ValueError("count must be positive")
+    return max(0, math.ceil(math.log2(count)))
+
+
+#: Field names understood by :class:`AddressMapping`.
+FIELDS = ("offset", "column_low", "column_high", "bank", "bankgroup", "rank", "row", "channel")
+
+
+@dataclass(frozen=True)
+class AddressMapping:
+    """A bijective physical-address to DRAM-coordinate mapping.
+
+    Attributes:
+        organization: the DRAM geometry being addressed.
+        field_order: field names from least to most significant bit.
+        name: human-readable mapping name.
+        column_low_bits: how many column bits sit below the bank bits
+            (0 for RoBaRaCoCh, >0 for MOP-style mappings).
+    """
+
+    organization: DramOrganization
+    field_order: Tuple[str, ...]
+    name: str
+    column_low_bits: int = 0
+
+    def field_widths(self) -> Dict[str, int]:
+        """Bit width of every field for this organization."""
+        org = self.organization
+        column_bits = _bits_for(org.columns)
+        column_low = min(self.column_low_bits, column_bits)
+        return {
+            "offset": _bits_for(org.cacheline_bytes),
+            "column_low": column_low,
+            "column_high": column_bits - column_low,
+            "bank": _bits_for(org.banks_per_group),
+            "bankgroup": _bits_for(org.bankgroups),
+            "rank": _bits_for(org.ranks),
+            "row": _bits_for(org.rows),
+            "channel": _bits_for(org.channels),
+        }
+
+    @property
+    def address_bits(self) -> int:
+        """Total number of physical address bits consumed by the mapping."""
+        return sum(self.field_widths().values())
+
+    def decode(self, address: int) -> DramAddress:
+        """Decode a physical byte address into DRAM coordinates."""
+        if address < 0:
+            raise ValueError("address must be non-negative")
+        widths = self.field_widths()
+        values: Dict[str, int] = {}
+        cursor = address
+        for field in self.field_order:
+            width = widths[field]
+            values[field] = cursor & ((1 << width) - 1) if width else 0
+            cursor >>= width
+        column = (values["column_high"] << widths["column_low"]) | values["column_low"]
+        return DramAddress(
+            channel=values["channel"],
+            rank=values["rank"],
+            bankgroup=values["bankgroup"],
+            bank=values["bank"],
+            row=values["row"],
+            column=column,
+        )
+
+    def encode(self, dram: DramAddress) -> int:
+        """Encode DRAM coordinates back into a physical byte address."""
+        widths = self.field_widths()
+        low_mask = (1 << widths["column_low"]) - 1
+        values = {
+            "offset": 0,
+            "column_low": dram.column & low_mask,
+            "column_high": dram.column >> widths["column_low"],
+            "bank": dram.bank,
+            "bankgroup": dram.bankgroup,
+            "rank": dram.rank,
+            "row": dram.row,
+            "channel": dram.channel,
+        }
+        address = 0
+        shift = 0
+        for field in self.field_order:
+            width = widths[field]
+            if values[field] >= (1 << width) and width >= 0 and values[field] != 0:
+                if values[field] >> width:
+                    raise ValueError(f"{field} value {values[field]} does not fit in {width} bits")
+            address |= values[field] << shift
+            shift += width
+        return address
+
+
+def mop_mapping(org: DramOrganization, mop_width_bits: int = 2) -> AddressMapping:
+    """Minimalist Open Page mapping (MOP), the paper's default (Table 2).
+
+    Consecutive cache lines first fill a small number of columns (the MOP
+    group), then interleave across banks, bank groups and ranks, and only
+    then move to the next column group / row.  This balances row-buffer
+    locality and bank-level parallelism.
+    """
+    return AddressMapping(
+        organization=org,
+        field_order=(
+            "offset",
+            "channel",
+            "column_low",
+            "bank",
+            "bankgroup",
+            "rank",
+            "column_high",
+            "row",
+        ),
+        name="MOP",
+        column_low_bits=mop_width_bits,
+    )
+
+
+def robarracoch_mapping(org: DramOrganization) -> AddressMapping:
+    """RoBaRaCoCh: row | bank | rank | column | channel (MSB to LSB)."""
+    return AddressMapping(
+        organization=org,
+        field_order=(
+            "offset",
+            "channel",
+            "column_low",
+            "column_high",
+            "rank",
+            "bank",
+            "bankgroup",
+            "row",
+        ),
+        name="RoBaRaCoCh",
+        column_low_bits=0,
+    )
+
+
+def abacus_mapping(org: DramOrganization) -> AddressMapping:
+    """ABACuS's address mapping (Appendix C).
+
+    Cache blocks interleave across all banks before moving to the next
+    column, so consecutive blocks of a page land on the *same row address* in
+    different banks -- the property ABACuS's sibling counters rely on, and
+    which also lowers the row-conflict rate of the baseline.
+    """
+    return AddressMapping(
+        organization=org,
+        field_order=(
+            "offset",
+            "channel",
+            "bank",
+            "bankgroup",
+            "rank",
+            "column_low",
+            "column_high",
+            "row",
+        ),
+        name="ABACuS",
+        column_low_bits=0,
+    )
+
+
+def mapping_by_name(name: str, org: DramOrganization) -> AddressMapping:
+    """Look up a mapping constructor by name."""
+    table = {
+        "MOP": mop_mapping,
+        "RoBaRaCoCh": robarracoch_mapping,
+        "ABACuS": abacus_mapping,
+    }
+    if name not in table:
+        raise ValueError(f"unknown address mapping {name!r}; expected one of {sorted(table)}")
+    return table[name](org)

@@ -1,0 +1,455 @@
+"""The memory controller.
+
+The controller owns the DRAM device, the demand request queues, the FR-FCFS
+scheduler, periodic refresh, and all read-disturbance management on the
+controller side:
+
+* it hosts controller-side mitigation mechanisms (PRFM / Graphene / Hydra /
+  PARA / ABACuS) and serves their preventive refreshes and RFM requests, and
+* it implements the PRAC back-off protocol: after observing the ``alert_n``
+  signal it may keep serving requests for the window of normal traffic
+  (tABOACT), then it precharges all banks and issues RFM commands -- a fixed
+  number for PRAC (recovery period), or for as long as the device keeps the
+  back-off asserted for Chronus.
+
+The controller issues at most one DRAM command per cycle (single command
+bus).  ``tick`` returns whether a command was issued plus a hint of the next
+cycle at which the controller could do useful work, which the system
+simulator uses to skip idle cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.controller.address_mapping import AddressMapping
+from repro.controller.request import MemoryRequest, RequestType
+from repro.controller.scheduler import FrFcfsCapScheduler
+from repro.core.mitigation import ControllerMitigation
+from repro.dram.bank import BankState
+from repro.dram.device import DramDevice
+from repro.dram.refresh import RefreshScheduler
+
+#: Sentinel "no event" hint.
+FAR_FUTURE = 1 << 62
+
+
+@dataclass
+class ControllerStats:
+    """Aggregate statistics exported after a simulation."""
+
+    reads_served: int = 0
+    writes_served: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    row_conflicts: int = 0
+    refreshes: int = 0
+    rfms: int = 0
+    backoffs_observed: int = 0
+    preventive_refresh_rows: int = 0
+    total_read_latency: int = 0
+
+    def average_read_latency(self) -> float:
+        if self.reads_served == 0:
+            return 0.0
+        return self.total_read_latency / self.reads_served
+
+
+class MemoryController:
+    """A single-channel DDR5 memory controller."""
+
+    def __init__(
+        self,
+        device: DramDevice,
+        mapping: AddressMapping,
+        mechanism: Optional[ControllerMitigation] = None,
+        read_queue_size: int = 64,
+        write_queue_size: int = 64,
+        scheduler_cap: int = 4,
+        write_drain_high: int = 48,
+        write_drain_low: int = 16,
+    ) -> None:
+        self.device = device
+        self.mapping = mapping
+        self.mechanism = mechanism
+        self.timing = device.timing
+        self.organization = device.organization
+        self.read_queue_size = read_queue_size
+        self.write_queue_size = write_queue_size
+        self.scheduler = FrFcfsCapScheduler(cap=scheduler_cap)
+        self.refresh = RefreshScheduler(self.organization.ranks, self.timing)
+        self.write_drain_high = write_drain_high
+        self.write_drain_low = write_drain_low
+
+        self.read_queue: List[MemoryRequest] = []
+        self.write_queue: List[MemoryRequest] = []
+        self._inflight_reads: List[MemoryRequest] = []
+        self._completed: List[MemoryRequest] = []
+        self._draining_writes = False
+
+        # Back-off protocol state.
+        self._rfm_due_cycle: Optional[int] = None
+        self._in_recovery = False
+
+        self.stats = ControllerStats()
+
+    # ------------------------------------------------------------------ #
+    # Interface used by the cores / system simulator
+    # ------------------------------------------------------------------ #
+    def can_accept(self, request_type: RequestType) -> bool:
+        """True if the corresponding queue has space."""
+        if request_type is RequestType.READ:
+            return len(self.read_queue) < self.read_queue_size
+        return len(self.write_queue) < self.write_queue_size
+
+    def enqueue(self, request: MemoryRequest) -> bool:
+        """Decode and enqueue a demand request.  Returns False if full."""
+        if not self.can_accept(request.request_type):
+            return False
+        request.dram = self.mapping.decode(request.address)
+        request.bank_id = request.dram.flat_bank(self.organization)
+        if request.is_read:
+            self.read_queue.append(request)
+        else:
+            self.write_queue.append(request)
+        return True
+
+    def drain_completed(self) -> List[MemoryRequest]:
+        """Return (and clear) the requests completed since the last call."""
+        completed, self._completed = self._completed, []
+        return completed
+
+    def pending_requests(self) -> int:
+        """Demand requests still queued or in flight."""
+        return len(self.read_queue) + len(self.write_queue) + len(self._inflight_reads)
+
+    # ------------------------------------------------------------------ #
+    # Main per-cycle entry point
+    # ------------------------------------------------------------------ #
+    def tick(self, cycle: int) -> Tuple[bool, int]:
+        """Attempt to issue one DRAM command at ``cycle``.
+
+        Returns ``(issued, next_hint)`` where ``next_hint`` is the earliest
+        cycle at which calling ``tick`` again may be useful (only meaningful
+        when ``issued`` is False).
+        """
+        self.refresh.tick(cycle)
+        self._retire_inflight(cycle)
+        self._observe_backoff(cycle)
+
+        issued = self._service_backoff(cycle)
+        if not issued and not self._backoff_blocks_traffic(cycle):
+            issued = (
+                self._service_refresh(cycle)
+                or self._service_prfm(cycle)
+                or self._service_preventive(cycle)
+                or self._service_demand(cycle)
+            )
+        if issued:
+            return True, cycle + 1
+        return False, self._next_event_hint(cycle)
+
+    def _backoff_blocks_traffic(self, cycle: int) -> bool:
+        """True once the window of normal traffic after a back-off has ended.
+
+        While the recovery period is pending or in progress the controller
+        must not issue demand commands: new activations would both delay the
+        mandated RFM commands and re-open banks that the recovery needs
+        precharged.
+        """
+        if self._in_recovery:
+            return True
+        return self._rfm_due_cycle is not None and cycle >= self._rfm_due_cycle
+
+    # ------------------------------------------------------------------ #
+    # Back-off (alert_n) handling
+    # ------------------------------------------------------------------ #
+    def _observe_backoff(self, cycle: int) -> None:
+        if self._rfm_due_cycle is not None or self._in_recovery:
+            return
+        if self.device.backoff_asserted():
+            self.stats.backoffs_observed += 1
+            self._rfm_due_cycle = (
+                cycle + self.timing.tBackOffLatency + self.timing.tABOACT
+            )
+
+    def _service_backoff(self, cycle: int) -> bool:
+        """Handle the recovery period of the back-off protocol."""
+        if not self._in_recovery:
+            if self._rfm_due_cycle is None or cycle < self._rfm_due_cycle:
+                return False
+            self._in_recovery = True
+
+        all_banks = list(range(self.organization.total_banks))
+        # All banks must be precharged before an all-bank RFM can be issued.
+        for bank_id in all_banks:
+            bank = self.device.banks[bank_id]
+            if bank.state is BankState.ACTIVE:
+                if self.device.can_precharge(bank_id, cycle):
+                    self.device.precharge(bank_id, cycle)
+                    return True
+                return False
+        if not self.device.can_rfm(all_banks, cycle):
+            return False
+        refreshed = self.device.rfm(all_banks, cycle)
+        self.stats.rfms += 1
+        self.stats.preventive_refresh_rows += refreshed
+        if not self.device.wants_more_rfm():
+            self._in_recovery = False
+            self._rfm_due_cycle = None
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Periodic refresh
+    # ------------------------------------------------------------------ #
+    def _service_refresh(self, cycle: int) -> bool:
+        for rank in self.refresh.ranks_needing_refresh():
+            urgent = self.refresh.refresh_urgent(rank)
+            bank_ids = self.device.banks_in_rank(rank)
+            if not urgent:
+                # Postpone the REF (DDR5 allows up to four postponements)
+                # unless the rank is completely idle, in which case refresh
+                # opportunistically.
+                if self._rank_has_pending_demand(rank):
+                    continue
+                if self.device.can_refresh(rank, cycle):
+                    self.device.refresh(rank, cycle)
+                    self.refresh.refresh_issued(rank)
+                    self.stats.refreshes += 1
+                    return True
+                continue
+            # Urgent: new activations to this rank are blocked (see
+            # _refresh_blocked_ranks); close its open banks, then refresh.
+            open_banks = [
+                b for b in bank_ids if self.device.banks[b].state is BankState.ACTIVE
+            ]
+            if open_banks:
+                for bank_id in open_banks:
+                    if self.device.can_precharge(bank_id, cycle):
+                        self.device.precharge(bank_id, cycle)
+                        return True
+                continue
+            if self.device.can_refresh(rank, cycle):
+                self.device.refresh(rank, cycle)
+                self.refresh.refresh_issued(rank)
+                self.stats.refreshes += 1
+                return True
+        return False
+
+    def _rank_has_pending_demand(self, rank: int) -> bool:
+        """True if any queued demand request targets a bank of ``rank``."""
+        per_rank = self.organization.banks_per_rank
+        low, high = rank * per_rank, (rank + 1) * per_rank
+        return any(
+            low <= request.bank_id < high
+            for request in self.read_queue + self.write_queue
+        )
+
+    def _refresh_blocked_ranks(self) -> List[int]:
+        """Ranks whose refresh debt is urgent: no new ACTs may be issued."""
+        return [
+            rank
+            for rank in self.refresh.ranks_needing_refresh()
+            if self.refresh.refresh_urgent(rank)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Controller-side mechanism servicing
+    # ------------------------------------------------------------------ #
+    def _service_prfm(self, cycle: int) -> bool:
+        if self.mechanism is None:
+            return False
+        for bank_id in range(self.organization.total_banks):
+            if not self.mechanism.rfm_needed(bank_id):
+                continue
+            bank = self.device.banks[bank_id]
+            if bank.state is BankState.ACTIVE:
+                if self.device.can_precharge(bank_id, cycle):
+                    self.device.precharge(bank_id, cycle)
+                    return True
+                continue
+            if self.device.can_rfm([bank_id], cycle):
+                self.device.rfm([bank_id], cycle)
+                self.mechanism.acknowledge_rfm(bank_id, cycle)
+                self.stats.rfms += 1
+                self.stats.preventive_refresh_rows += self.mechanism.victim_rows_per_aggressor
+                return True
+        return False
+
+    def _service_preventive(self, cycle: int) -> bool:
+        if self.mechanism is None:
+            return False
+        for bank_id in self.mechanism.banks_with_pending_refreshes():
+            bank = self.device.banks[bank_id]
+            if bank.state is BankState.ACTIVE:
+                if self.device.can_precharge(bank_id, cycle):
+                    self.device.precharge(bank_id, cycle)
+                    return True
+                continue
+            if self.device.can_victim_refresh(bank_id, cycle):
+                refresh = self.mechanism.pop_refresh(bank_id)
+                if refresh is None:
+                    continue
+                self.device.victim_refresh(bank_id, refresh.num_rows, cycle)
+                self.stats.preventive_refresh_rows += refresh.num_rows
+                return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Demand request servicing (FR-FCFS + Cap)
+    # ------------------------------------------------------------------ #
+    def _active_queue(self) -> List[MemoryRequest]:
+        if self._draining_writes:
+            if len(self.write_queue) <= self.write_drain_low:
+                self._draining_writes = False
+        if not self._draining_writes:
+            if len(self.write_queue) >= self.write_drain_high or (
+                not self.read_queue and self.write_queue
+            ):
+                self._draining_writes = True
+        if self._draining_writes and self.write_queue:
+            return self.write_queue
+        return self.read_queue
+
+    def _service_demand(self, cycle: int) -> bool:
+        queue = self._active_queue()
+        if not queue:
+            return False
+        request = self.scheduler.choose(queue, self.device)
+        if request is not None and self._serve_request(request, queue, cycle):
+            return True
+        # First-ready fallback: try any request whose next command is legal.
+        for request in sorted(queue, key=lambda r: r.request_id):
+            if self._serve_request(request, queue, cycle):
+                return True
+        return False
+
+    def _serve_request(
+        self, request: MemoryRequest, queue: List[MemoryRequest], cycle: int
+    ) -> bool:
+        bank_id = request.bank_id
+        open_row = self.device.open_row(bank_id)
+        target_row = request.dram.row
+
+        if open_row == target_row:
+            hit = request.row_hit if request.row_hit is not None else True
+            if request.is_read and self.device.can_read(bank_id, cycle):
+                ready = self.device.read(bank_id, cycle)
+                self._complete_column(request, queue, cycle, ready, row_hit=hit)
+                return True
+            if request.is_write and self.device.can_write(bank_id, cycle):
+                done = self.device.write(bank_id, cycle)
+                self._complete_column(request, queue, cycle, done, row_hit=hit)
+                return True
+            return False
+
+        if open_row is not None:
+            if self._preserve_open_row(bank_id, open_row, queue):
+                # A pending request still targets the open row and the
+                # column-over-row reordering cap has not been exhausted, so
+                # the conflicting request must wait (FR-FCFS row-hit-first).
+                return False
+            if self.device.can_precharge(bank_id, cycle):
+                self.device.precharge(bank_id, cycle)
+                self.stats.row_conflicts += 1
+                request.row_hit = False
+                # The older row-conflict request finally makes progress, so
+                # the bank's column-over-row reordering budget resets.
+                self.scheduler.on_scheduled(request, was_row_hit=False)
+                return True
+            return False
+
+        rank = self.device.rank_of_bank(bank_id)
+        if self.refresh.refresh_urgent(rank):
+            # The rank must drain for an overdue periodic refresh first.
+            return False
+        if self.device.can_activate(bank_id, cycle):
+            self.device.activate(bank_id, target_row, cycle)
+            self.stats.row_misses += 1
+            request.row_hit = False
+            if self.mechanism is not None:
+                self.mechanism.on_activate(bank_id, target_row, cycle)
+            return True
+        return False
+
+    def _preserve_open_row(
+        self, bank_id: int, open_row: int, queue: List[MemoryRequest]
+    ) -> bool:
+        """True if the open row should be kept open for a pending row hit."""
+        if self.scheduler.cap_reached(bank_id):
+            return False
+        return any(
+            r.bank_id == bank_id and r.dram.row == open_row for r in queue
+        )
+
+    def _complete_column(
+        self,
+        request: MemoryRequest,
+        queue: List[MemoryRequest],
+        cycle: int,
+        completion: int,
+        row_hit: bool,
+    ) -> None:
+        request.issued_cycle = cycle
+        request.completion_cycle = completion
+        request.row_hit = row_hit
+        queue.remove(request)
+        self.scheduler.on_scheduled(request, row_hit)
+        if row_hit:
+            self.stats.row_hits += 1
+        if request.is_read:
+            self.stats.reads_served += 1
+            self.stats.total_read_latency += completion - request.arrival_cycle
+            self._inflight_reads.append(request)
+        else:
+            self.stats.writes_served += 1
+            self._completed.append(request)
+
+    def _retire_inflight(self, cycle: int) -> None:
+        if not self._inflight_reads:
+            return
+        still_waiting = []
+        for request in self._inflight_reads:
+            if request.completion_cycle is not None and request.completion_cycle <= cycle:
+                self._completed.append(request)
+            else:
+                still_waiting.append(request)
+        self._inflight_reads = still_waiting
+
+    # ------------------------------------------------------------------ #
+    # Idle-time hints
+    # ------------------------------------------------------------------ #
+    def _next_event_hint(self, cycle: int) -> int:
+        events: List[int] = []
+        if self._rfm_due_cycle is not None and not self._in_recovery:
+            events.append(self._rfm_due_cycle)
+        if self._in_recovery or self.refresh.ranks_needing_refresh():
+            for bank in self.device.banks:
+                if bank.state is BankState.ACTIVE:
+                    events.append(bank.ready_cycle_for_precharge())
+                else:
+                    events.append(bank.ready_cycle_for_activate())
+        for request in self.read_queue + self.write_queue:
+            bank = self.device.banks[request.bank_id]
+            if bank.open_row == request.dram.row:
+                ready = (
+                    bank.ready_cycle_for_read()
+                    if request.is_read
+                    else bank.ready_cycle_for_write()
+                )
+            elif bank.open_row is not None:
+                ready = bank.ready_cycle_for_precharge()
+            else:
+                ready = bank.ready_cycle_for_activate()
+            events.append(ready)
+        if self.mechanism is not None:
+            for bank_id in self.mechanism.banks_with_pending_refreshes():
+                events.append(self.device.banks[bank_id].ready_cycle_for_activate())
+        if self._inflight_reads:
+            events.append(min(r.completion_cycle for r in self._inflight_reads))
+        # A periodic refresh may become due in the future even when idle.
+        future = [event for event in events if event > cycle]
+        if not future:
+            return cycle + 1 if events else FAR_FUTURE
+        return min(future)

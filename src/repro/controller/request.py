@@ -1,0 +1,74 @@
+"""Memory request types exchanged between cores and the memory controller."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dram.organization import DramAddress
+
+
+class RequestType(enum.Enum):
+    """Demand request classes."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+_request_ids = itertools.count()
+
+
+@dataclass
+class MemoryRequest:
+    """A demand memory request (one cache line).
+
+    The request carries its decoded DRAM coordinates so the controller never
+    has to re-run the address mapping, and a small amount of life-cycle
+    book-keeping used by the statistics and by the cores.
+    """
+
+    address: int
+    request_type: RequestType
+    core_id: int
+    arrival_cycle: int
+    dram: Optional[DramAddress] = None
+    bank_id: int = -1
+
+    #: Unique, monotonically increasing id (used for FCFS tie-breaking).
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+
+    #: Cycle at which the column command (RD/WR) was issued, or None.
+    issued_cycle: Optional[int] = None
+
+    #: Cycle at which the data is available (read) / the write is complete.
+    completion_cycle: Optional[int] = None
+
+    #: True if this request hit an already-open row when first scheduled.
+    row_hit: Optional[bool] = None
+
+    @property
+    def is_read(self) -> bool:
+        return self.request_type is RequestType.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.request_type is RequestType.WRITE
+
+    @property
+    def is_complete(self) -> bool:
+        return self.completion_cycle is not None
+
+    def latency(self) -> Optional[int]:
+        """Total queuing + service latency in DRAM cycles (None if pending)."""
+        if self.completion_cycle is None:
+            return None
+        return self.completion_cycle - self.arrival_cycle
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "RD" if self.is_read else "WR"
+        return (
+            f"MemoryRequest({kind} core={self.core_id} bank={self.bank_id} "
+            f"row={self.dram.row if self.dram else '?'} @{self.arrival_cycle})"
+        )

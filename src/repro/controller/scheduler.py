@@ -1,0 +1,86 @@
+"""FR-FCFS + Cap memory request scheduler.
+
+The paper's memory controller uses the First-Ready, First-Come-First-Served
+policy with a *Cap on Column-Over-Row Reordering* of four (Table 2):
+row-buffer hits are prioritised over older row-buffer conflicts, but at most
+``cap`` consecutive hits may bypass an older conflicting request to the same
+bank, which bounds the starvation that an open-row-friendly stream could
+otherwise inflict (and that a memory performance attack exploits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.controller.request import MemoryRequest
+from repro.dram.device import DramDevice
+
+
+class FrFcfsCapScheduler:
+    """FR-FCFS with a cap on column-over-row reordering."""
+
+    def __init__(self, cap: int = 4) -> None:
+        if cap <= 0:
+            raise ValueError("cap must be positive")
+        self.cap = cap
+        #: Consecutive row hits scheduled over an older conflict, per bank.
+        self._hit_streak: Dict[int, int] = {}
+
+    def reset(self) -> None:
+        """Clear all per-bank streak state."""
+        self._hit_streak.clear()
+
+    def choose(
+        self, queue: Sequence[MemoryRequest], device: DramDevice
+    ) -> Optional[MemoryRequest]:
+        """Choose the next request to service from ``queue``.
+
+        The choice only considers row-buffer state (first-ready); the caller
+        remains responsible for checking command timing legality before
+        issuing and for calling :meth:`on_scheduled` when a request is
+        finally serviced.
+        """
+        if not queue:
+            return None
+
+        oldest: Optional[MemoryRequest] = None
+        best_hit: Optional[MemoryRequest] = None
+        for request in queue:
+            if oldest is None or request.request_id < oldest.request_id:
+                oldest = request
+            if device.open_row(request.bank_id) == request.dram.row:
+                if best_hit is None or request.request_id < best_hit.request_id:
+                    best_hit = request
+
+        if best_hit is None:
+            return oldest
+        if best_hit is oldest:
+            return best_hit
+
+        # There is an older request; only let the hit bypass it if the hit's
+        # bank has not exhausted its reordering cap *and* the older request
+        # targets the same bank (otherwise there is no reordering conflict).
+        bank = best_hit.bank_id
+        older_conflict_same_bank = any(
+            r.request_id < best_hit.request_id and r.bank_id == bank for r in queue
+        )
+        if older_conflict_same_bank and self._hit_streak.get(bank, 0) >= self.cap:
+            return oldest
+        return best_hit
+
+    def hit_streak(self, bank_id: int) -> int:
+        """Consecutive row hits most recently scheduled to ``bank_id``."""
+        return self._hit_streak.get(bank_id, 0)
+
+    def cap_reached(self, bank_id: int) -> bool:
+        """True if the bank exhausted its column-over-row reordering budget."""
+        return self.hit_streak(bank_id) >= self.cap
+
+    def on_scheduled(self, request: MemoryRequest, was_row_hit: bool) -> None:
+        """Update the per-bank streak after a request is serviced."""
+        bank = request.bank_id
+        if was_row_hit:
+            self._hit_streak[bank] = self._hit_streak.get(bank, 0) + 1
+        else:
+            self._hit_streak[bank] = 0

@@ -1,0 +1,52 @@
+"""Read-disturbance mitigation mechanisms (the paper's core contribution).
+
+This package implements:
+
+* the industry mechanisms analysed by the paper -- PRFM, PRAC-N and
+  PRAC+PRFM (JESD79-5c, April 2024),
+* the paper's proposal -- Chronus (Concurrent Counter Update + Chronus
+  Back-Off) and its ablation Chronus-PB,
+* the academic baselines used for comparison -- Graphene, Hydra, PARA and
+  ABACuS,
+* the gate-level decrementer circuit of Appendix A.
+
+All mechanisms implement the :class:`~repro.core.mitigation.MitigationMechanism`
+interface so that the memory controller and DRAM device remain mechanism
+agnostic.
+"""
+
+from repro.core.mitigation import (
+    ControllerMitigation,
+    MitigationMechanism,
+    NoMitigation,
+    OnDieMitigation,
+    PreventiveRefresh,
+)
+from repro.core.prfm import PRFM
+from repro.core.prac import PRAC, AggressorTrackingTable
+from repro.core.chronus import Chronus
+from repro.core.graphene import Graphene
+from repro.core.hydra import Hydra
+from repro.core.para import PARA
+from repro.core.abacus import ABACuS
+from repro.core.decrementer import DecrementerCircuit
+from repro.core.factory import build_mechanism, MECHANISM_NAMES
+
+__all__ = [
+    "MitigationMechanism",
+    "ControllerMitigation",
+    "OnDieMitigation",
+    "NoMitigation",
+    "PreventiveRefresh",
+    "PRFM",
+    "PRAC",
+    "AggressorTrackingTable",
+    "Chronus",
+    "Graphene",
+    "Hydra",
+    "PARA",
+    "ABACuS",
+    "DecrementerCircuit",
+    "build_mechanism",
+    "MECHANISM_NAMES",
+]

@@ -1,0 +1,243 @@
+"""Mitigation mechanism interfaces.
+
+Every read-disturbance mitigation mechanism in this repository implements the
+:class:`MitigationMechanism` interface.  Mechanisms come in two flavours,
+mirroring the taxonomy in the paper (Fig. 6):
+
+* **Controller-side** mechanisms (:class:`ControllerMitigation`) live in the
+  memory controller.  They observe row activations, decide when victim rows
+  must be refreshed, and queue *preventive refreshes* that the controller
+  serves by blocking the target bank (Graphene, Hydra, PARA) or by issuing an
+  RFM command (PRFM).
+
+* **On-DRAM-die** mechanisms (:class:`OnDieMitigation`) live inside the DRAM
+  device.  They maintain per-row activation counters, assert the ``alert_n``
+  back-off signal when a counter reaches the back-off threshold, and perform
+  the victim refreshes themselves during RFM commands (PRAC, Chronus).
+
+The memory controller and DRAM device only ever talk to these interfaces,
+which keeps the simulator mechanism-agnostic, exactly like Ramulator 2.0's
+plugin architecture that the paper's artifact builds on.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+#: Number of physically adjacent victim rows on each side of an aggressor
+#: (the paper assumes a blast radius of 2, i.e. four victim rows total).
+DEFAULT_BLAST_RADIUS = 2
+
+
+@dataclass
+class PreventiveRefresh:
+    """A queued request to refresh victim rows of an aggressor.
+
+    Attributes:
+        bank_id: flat bank index containing the aggressor row.
+        aggressor_row: the row whose neighbours must be refreshed.
+        num_rows: how many victim rows must be refreshed (``2 * blast_radius``
+            unless the mechanism refreshes a single neighbour, e.g. PARA).
+    """
+
+    bank_id: int
+    aggressor_row: int
+    num_rows: int
+
+
+@dataclass
+class MitigationStats:
+    """Counters shared by all mechanisms (consumed by the energy model)."""
+
+    preventive_refresh_rows: int = 0
+    rfm_commands: int = 0
+    backoffs: int = 0
+    borrowed_refreshes: int = 0
+    tracked_activations: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "preventive_refresh_rows": self.preventive_refresh_rows,
+            "rfm_commands": self.rfm_commands,
+            "backoffs": self.backoffs,
+            "borrowed_refreshes": self.borrowed_refreshes,
+            "tracked_activations": self.tracked_activations,
+        }
+
+
+class MitigationMechanism(abc.ABC):
+    """Common interface for all read-disturbance mitigation mechanisms."""
+
+    #: Human-readable mechanism name (e.g. ``"PRAC-4"``).
+    name: str = "base"
+
+    #: Either ``"controller"`` or ``"dram"``.
+    side: str = "controller"
+
+    #: If True, the mechanism requires the PRAC timing parameters (Table 1)
+    #: because counters are updated while the row closes.
+    requires_prac_timings: bool = False
+
+    #: Multiplier applied to the energy of a row access (ACT+PRE pair) to
+    #: account for in-DRAM counter maintenance (e.g. Chronus' counter
+    #: subarray adds 19.07 % per the paper's SPICE evaluation).
+    act_energy_multiplier: float = 1.0
+
+    def __init__(self, nrh: int, blast_radius: int = DEFAULT_BLAST_RADIUS) -> None:
+        if nrh <= 0:
+            raise ValueError(f"N_RH must be positive, got {nrh}")
+        if blast_radius <= 0:
+            raise ValueError(f"blast radius must be positive, got {blast_radius}")
+        self.nrh = nrh
+        self.blast_radius = blast_radius
+        self.stats = MitigationStats()
+
+    # ------------------------------------------------------------------ #
+    # Observation hooks
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def on_activate(self, bank_id: int, row: int, cycle: int) -> None:
+        """Called when a row is activated."""
+
+    def on_precharge(self, bank_id: int, row: int, cycle: int) -> None:
+        """Called when a row is precharged (closed)."""
+
+    def on_periodic_refresh(self, bank_ids: List[int], cycle: int) -> None:
+        """Called when a periodic REF is issued to the given banks.
+
+        On-die mechanisms use this hook to *borrow* time from the periodic
+        refresh and transparently refresh the victims of the most activated
+        recently-accessed row (§5 and §7.1 of the paper).
+        """
+
+    def on_refresh_window(self, cycle: int) -> None:
+        """Called once per refresh window (tREFW); resets activation state."""
+
+    def reset(self) -> None:
+        """Reset all mechanism state (used between simulations)."""
+        self.stats = MitigationStats()
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    @property
+    def victim_rows_per_aggressor(self) -> int:
+        """Victim rows refreshed when an aggressor is mitigated."""
+        return 2 * self.blast_radius
+
+    def storage_overhead_bits(self, num_banks: int, rows_per_bank: int) -> Dict[str, int]:
+        """Return storage overhead in bits, split by location.
+
+        Returns a dict with ``"dram_bits"``, ``"sram_bits"`` and ``"cam_bits"``
+        keys (missing keys mean zero).  Used by the Fig. 11 / Fig. 13
+        experiments.
+        """
+        return {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(name={self.name!r}, nrh={self.nrh})"
+
+
+class ControllerMitigation(MitigationMechanism):
+    """A mechanism that lives in the memory controller.
+
+    Controller-side mechanisms queue :class:`PreventiveRefresh` actions; the
+    memory controller drains the queue by blocking the target bank for the
+    duration of the victim refreshes.  They may also request RFM commands
+    (PRFM) via :meth:`rfm_needed`.
+    """
+
+    side = "controller"
+
+    def __init__(self, nrh: int, blast_radius: int = DEFAULT_BLAST_RADIUS) -> None:
+        super().__init__(nrh, blast_radius)
+        self._pending: Dict[int, List[PreventiveRefresh]] = {}
+
+    # -- preventive refresh queue --------------------------------------- #
+    def queue_refresh(self, refresh: PreventiveRefresh) -> None:
+        """Queue a preventive refresh for the controller to serve."""
+        self._pending.setdefault(refresh.bank_id, []).append(refresh)
+        self.stats.preventive_refresh_rows += refresh.num_rows
+
+    def pending_refresh(self, bank_id: int) -> Optional[PreventiveRefresh]:
+        """Peek at the oldest pending preventive refresh for ``bank_id``."""
+        queue = self._pending.get(bank_id)
+        return queue[0] if queue else None
+
+    def pop_refresh(self, bank_id: int) -> Optional[PreventiveRefresh]:
+        """Remove and return the oldest pending refresh for ``bank_id``."""
+        queue = self._pending.get(bank_id)
+        if not queue:
+            return None
+        return queue.pop(0)
+
+    def banks_with_pending_refreshes(self) -> List[int]:
+        """Return the bank ids that currently have queued refreshes."""
+        return [bank_id for bank_id, queue in self._pending.items() if queue]
+
+    def total_pending_rows(self) -> int:
+        """Total number of victim rows waiting to be refreshed."""
+        return sum(r.num_rows for queue in self._pending.values() for r in queue)
+
+    # -- RFM interface (used by PRFM) ------------------------------------ #
+    def rfm_needed(self, bank_id: int) -> bool:
+        """Return True if the controller should issue an RFM to ``bank_id``."""
+        return False
+
+    def acknowledge_rfm(self, bank_id: int, cycle: int) -> None:
+        """Called after the controller issues the RFM requested for a bank."""
+
+    def reset(self) -> None:
+        super().reset()
+        self._pending = {}
+
+
+class OnDieMitigation(MitigationMechanism):
+    """A mechanism implemented inside the DRAM device.
+
+    On-die mechanisms communicate with the memory controller exclusively
+    through the ``alert_n`` back-off signal and RFM commands, as specified by
+    PRAC in JESD79-5c.
+    """
+
+    side = "dram"
+
+    @abc.abstractmethod
+    def backoff_asserted(self) -> bool:
+        """Return True while the device requests preventive refreshes."""
+
+    @abc.abstractmethod
+    def on_rfm(self, bank_ids: List[int], cycle: int) -> int:
+        """Serve an RFM command.
+
+        The device refreshes the victims of the most-activated tracked row in
+        each of ``bank_ids`` and updates the back-off state.  Returns the
+        total number of victim rows refreshed (for the energy model).
+        """
+
+    def wants_more_rfm(self) -> bool:
+        """Return True if the recovery period should issue another RFM.
+
+        PRAC issues a fixed number of RFMs per back-off; Chronus keeps the
+        back-off asserted until every row above the threshold is refreshed.
+        """
+        return self.backoff_asserted()
+
+    def activations_until_next_backoff(self) -> Optional[int]:
+        """For delay-period mechanisms: ACTs remaining before re-assertion."""
+        return None
+
+
+class NoMitigation(ControllerMitigation):
+    """Baseline: no read-disturbance mitigation at all."""
+
+    name = "None"
+
+    def __init__(self, nrh: int = 10**9, blast_radius: int = DEFAULT_BLAST_RADIUS) -> None:
+        super().__init__(nrh, blast_radius)
+
+    def on_activate(self, bank_id: int, row: int, cycle: int) -> None:
+        self.stats.tracked_activations += 1

@@ -1,0 +1,114 @@
+"""PRFM: Periodic Refresh Management (pre-2024 DDR5, JESD79-5).
+
+Before the April-2024 PRAC update, the DDR5 specification advised the memory
+controller to issue an RFM command whenever the number of activations to a
+bank (or logical memory region) exceeds a threshold, ``RFMth``.  The DRAM
+chip uses the RFM window to refresh the victims of an aggressor row of its
+choosing.
+
+PRFM is a *controller-side* policy: the controller keeps one activation
+counter per bank (this is the entirety of PRFM's storage cost -- the smallest
+of all evaluated mechanisms, Fig. 11) and requests an RFM when the counter
+reaches ``RFMth``.  Because PRFM performs preventive refreshes periodically
+regardless of which rows were activated, the wave attack forces very small
+``RFMth`` values at low ``N_RH`` (Fig. 3a), which makes PRFM's overhead grow
+quickly as ``N_RH`` decreases.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from repro.analysis.security import (
+    DEFAULT_PARAMETERS,
+    SecurityParameters,
+    secure_prfm_threshold,
+)
+from repro.core.mitigation import DEFAULT_BLAST_RADIUS, ControllerMitigation
+
+
+class PRFM(ControllerMitigation):
+    """Periodic RFM issued every ``RFMth`` activations per bank."""
+
+    name = "PRFM"
+
+    def __init__(
+        self,
+        nrh: int,
+        num_banks: int,
+        rfm_threshold: Optional[int] = None,
+        blast_radius: int = DEFAULT_BLAST_RADIUS,
+        security_params: SecurityParameters = DEFAULT_PARAMETERS,
+        allow_insecure: bool = False,
+    ) -> None:
+        """Create a PRFM policy.
+
+        Args:
+            nrh: RowHammer threshold.
+            num_banks: number of banks tracked (one counter each).
+            rfm_threshold: activations per bank between RFM commands.  When
+                ``None``, the largest wave-attack-secure threshold is chosen
+                from the §5 analysis.
+            blast_radius: victim rows on each side of an aggressor.
+            security_params: parameters for the secure-threshold search.
+            allow_insecure: if no secure threshold exists for ``nrh``, fall
+                back to the most aggressive candidate (``RFMth = 2``) and set
+                :attr:`is_secure` to False instead of raising.
+        """
+        super().__init__(nrh, blast_radius)
+        if num_banks <= 0:
+            raise ValueError("num_banks must be positive")
+        self.num_banks = num_banks
+        self.is_secure = True
+        if rfm_threshold is None:
+            try:
+                rfm_threshold = secure_prfm_threshold(nrh, params=security_params)
+            except ValueError:
+                if not allow_insecure:
+                    raise
+                rfm_threshold = 2
+                self.is_secure = False
+        if rfm_threshold <= 0:
+            raise ValueError("rfm_threshold must be positive")
+        self.rfm_threshold = rfm_threshold
+        self._bank_counters: List[int] = [0] * num_banks
+        self._rfm_pending: List[bool] = [False] * num_banks
+
+    # ------------------------------------------------------------------ #
+    # Observation hooks
+    # ------------------------------------------------------------------ #
+    def on_activate(self, bank_id: int, row: int, cycle: int) -> None:
+        self.stats.tracked_activations += 1
+        self._bank_counters[bank_id] += 1
+        if self._bank_counters[bank_id] >= self.rfm_threshold:
+            self._rfm_pending[bank_id] = True
+
+    # ------------------------------------------------------------------ #
+    # RFM interface
+    # ------------------------------------------------------------------ #
+    def rfm_needed(self, bank_id: int) -> bool:
+        return self._rfm_pending[bank_id]
+
+    def acknowledge_rfm(self, bank_id: int, cycle: int) -> None:
+        self._rfm_pending[bank_id] = False
+        self._bank_counters[bank_id] = 0
+        self.stats.rfm_commands += 1
+        self.stats.preventive_refresh_rows += self.victim_rows_per_aggressor
+
+    def bank_counter(self, bank_id: int) -> int:
+        """Current activation count of ``bank_id`` since the last RFM."""
+        return self._bank_counters[bank_id]
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def storage_overhead_bits(self, num_banks: int, rows_per_bank: int) -> Dict[str, int]:
+        """PRFM keeps a single activation counter per bank in the controller."""
+        counter_bits = max(1, math.ceil(math.log2(self.nrh))) + 1
+        return {"sram_bits": num_banks * counter_bits}
+
+    def reset(self) -> None:
+        super().reset()
+        self._bank_counters = [0] * self.num_banks
+        self._rfm_pending = [False] * self.num_banks

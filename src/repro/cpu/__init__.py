@@ -1,0 +1,7 @@
+"""CPU-side substrate: traces, the shared last-level cache and the cores."""
+
+from repro.cpu.trace import Trace, TraceEntry
+from repro.cpu.cache import Cache, CacheAccessResult
+from repro.cpu.core import Core
+
+__all__ = ["Trace", "TraceEntry", "Cache", "CacheAccessResult", "Core"]

@@ -1,0 +1,277 @@
+"""Trace-driven core model.
+
+Each core replays a memory-access trace through a bounded instruction window,
+mirroring the processor model of Table 2 (4.2 GHz, 4-wide issue, 128-entry
+instruction window):
+
+* non-memory instructions retire at the peak issue rate;
+* memory accesses first probe the shared LLC; hits complete after a fixed
+  latency, misses become DRAM read requests;
+* an access may only be *dispatched* once every instruction that is
+  ``window_size`` instructions older has retired (in-order retirement), and
+  at most ``max_outstanding`` DRAM reads may be in flight (MSHR limit);
+* writes and writebacks are posted -- they generate DRAM traffic but do not
+  stall the core.
+
+The core is event-based: it exposes the earliest cycle at which it can make
+progress, so the system simulator can skip idle cycles without losing
+accuracy.  Traces wrap around until the core retires its instruction target,
+which keeps memory contention alive for multi-programmed mixes whose
+applications finish at different times (the standard weighted-speedup
+methodology).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional, TYPE_CHECKING
+
+from repro.controller.request import MemoryRequest, RequestType
+from repro.cpu.cache import Cache, CacheAccessResult
+from repro.cpu.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.controller.controller import MemoryController
+
+#: Sentinel "no event" hint.
+FAR_FUTURE = 1 << 62
+
+
+@dataclass
+class _OutstandingAccess:
+    """A dispatched memory access occupying the instruction window."""
+
+    position: int
+    completion_cycle: Optional[int]
+    request: Optional[MemoryRequest] = None
+
+
+class Core:
+    """One trace-driven core of the simulated multi-core system."""
+
+    def __init__(
+        self,
+        core_id: int,
+        trace: Trace,
+        llc: Cache,
+        clock_ratio: float = 2.625,
+        issue_width: int = 4,
+        window_size: int = 128,
+        max_outstanding: int = 16,
+        llc_hit_latency: int = 16,
+        instruction_target: Optional[int] = None,
+        bypass_llc: bool = False,
+    ) -> None:
+        """Create a core.
+
+        Args:
+            core_id: index of this core in the system.
+            trace: the memory access trace the core replays.
+            llc: the shared last-level cache.
+            clock_ratio: core clock cycles per DRAM clock cycle (4.2 GHz over
+                1.6 GHz = 2.625).
+            issue_width: instructions issued per core cycle.
+            window_size: instruction window (ROB) entries.
+            max_outstanding: maximum in-flight DRAM reads (MSHR entries).
+            llc_hit_latency: LLC hit latency in DRAM cycles.
+            instruction_target: retire this many instructions before the core
+                reports itself finished (defaults to one full pass of the
+                trace).
+            bypass_llc: if True, every access goes straight to DRAM (models an
+                attacker that flushes its lines, as the §11 performance-attack
+                study assumes).
+        """
+        if clock_ratio <= 0 or issue_width <= 0 or window_size <= 0:
+            raise ValueError("core parameters must be positive")
+        self.core_id = core_id
+        self.trace = trace
+        self.llc = llc
+        self.clock_ratio = clock_ratio
+        self.issue_width = issue_width
+        self.window_size = window_size
+        self.max_outstanding = max_outstanding
+        self.llc_hit_latency = llc_hit_latency
+        self.bypass_llc = bypass_llc
+        self.instruction_target = (
+            trace.total_instructions if instruction_target is None else instruction_target
+        )
+        #: Instructions retired per DRAM cycle when nothing stalls.
+        self.instructions_per_dram_cycle = issue_width * clock_ratio
+
+        # Trace cursor (wraps around).
+        self._index = 0
+        # Front-end progress, in DRAM cycles (fractional).
+        self._front_cycle = 0.0
+        # Cumulative instruction position of the *next* memory access.
+        self._position = 0
+        self._outstanding: Deque[_OutstandingAccess] = deque()
+        self._reads_in_flight = 0
+
+        # Progress accounting.
+        self.retired_instructions = 0
+        self.finish_cycle: Optional[int] = None
+        self.mem_reads = 0
+        self.mem_writes = 0
+        self.llc_hits = 0
+        self.llc_misses = 0
+
+    # ------------------------------------------------------------------ #
+    # Progress / completion
+    # ------------------------------------------------------------------ #
+    @property
+    def finished(self) -> bool:
+        """True once the core has retired its instruction target."""
+        return self.finish_cycle is not None
+
+    def ipc(self) -> float:
+        """Instructions per *core* cycle up to the finish point."""
+        if self.finish_cycle is None or self.finish_cycle == 0:
+            return 0.0
+        core_cycles = self.finish_cycle * self.clock_ratio
+        return self.instruction_target / core_cycles
+
+    def notify_completion(self, request: MemoryRequest, cycle: int) -> None:
+        """A DRAM request issued by this core completed."""
+        for access in self._outstanding:
+            if access.request is request:
+                access.completion_cycle = max(cycle, request.completion_cycle or cycle)
+                if request.is_read:
+                    self._reads_in_flight -= 1
+                break
+
+    # ------------------------------------------------------------------ #
+    # Issuing
+    # ------------------------------------------------------------------ #
+    def try_issue(self, cycle: int, controller: "MemoryController") -> bool:
+        """Attempt to dispatch the next trace access at ``cycle``.
+
+        Returns True if an access was dispatched (the system should call
+        again in the same cycle to exploit the full dispatch bandwidth).
+        """
+        self._retire(cycle)
+
+        entry = self.trace[self._index]
+        dispatch_position = self._position + entry.gap_instructions
+
+        # Front-end: the access cannot dispatch before its preceding
+        # instructions have been fetched / executed.
+        ready_cycle = self._front_cycle + (
+            entry.gap_instructions / self.instructions_per_dram_cycle
+        )
+        if ready_cycle > cycle:
+            return False
+
+        # Instruction-window constraint: the instruction ``window_size``
+        # older must have retired.
+        if not self._window_allows(dispatch_position, cycle):
+            return False
+
+        # MSHR constraint.
+        if self._reads_in_flight >= self.max_outstanding:
+            return False
+
+        line_address = (entry.address // self.llc.line_size) * self.llc.line_size
+        if self.bypass_llc:
+            result = CacheAccessResult(hit=False)
+        else:
+            result = self.llc.access(line_address, entry.is_write)
+
+        access = _OutstandingAccess(position=dispatch_position, completion_cycle=None)
+        if result.hit:
+            self.llc_hits += 1
+            access.completion_cycle = cycle + self.llc_hit_latency
+        else:
+            self.llc_misses += 1
+            if entry.is_write:
+                # Write-allocate: fetch the line, but do not stall the core.
+                self._post_write(controller, line_address, cycle)
+                access.completion_cycle = cycle + self.llc_hit_latency
+            else:
+                request = MemoryRequest(
+                    address=line_address,
+                    request_type=RequestType.READ,
+                    core_id=self.core_id,
+                    arrival_cycle=cycle,
+                )
+                if not controller.enqueue(request):
+                    # Queue full: undo the dispatch attempt (the LLC state
+                    # change is harmless) and retry later.
+                    return False
+                access.request = request
+                self._reads_in_flight += 1
+                self.mem_reads += 1
+        if result.writeback_address is not None:
+            self._post_write(controller, result.writeback_address, cycle)
+
+        if entry.is_write:
+            self.mem_writes += 1
+
+        self._outstanding.append(access)
+        self._position = dispatch_position + 1
+        self._front_cycle = max(self._front_cycle, float(cycle))
+        self._front_cycle = max(ready_cycle, self._front_cycle)
+        self._advance_cursor()
+        return True
+
+    def _post_write(self, controller: "MemoryController", address: int, cycle: int) -> None:
+        """Send a posted (non-blocking) write to the memory controller."""
+        request = MemoryRequest(
+            address=address,
+            request_type=RequestType.WRITE,
+            core_id=self.core_id,
+            arrival_cycle=cycle,
+        )
+        controller.enqueue(request)
+
+    def _advance_cursor(self) -> None:
+        self._index += 1
+        if self._index >= len(self.trace):
+            self._index = 0
+
+    # ------------------------------------------------------------------ #
+    # Retirement
+    # ------------------------------------------------------------------ #
+    def _window_allows(self, dispatch_position: int, cycle: int) -> bool:
+        """True if the instruction window has room for ``dispatch_position``."""
+        boundary = dispatch_position - self.window_size
+        while self._outstanding and self._outstanding[0].position <= boundary:
+            access = self._outstanding[0]
+            if access.completion_cycle is None or access.completion_cycle > cycle:
+                return False
+            self._outstanding.popleft()
+        return True
+
+    def _retire(self, cycle: int) -> None:
+        """Retire completed accesses and update the instruction count."""
+        while self._outstanding:
+            access = self._outstanding[0]
+            if access.completion_cycle is None or access.completion_cycle > cycle:
+                break
+            self._outstanding.popleft()
+        if self.finish_cycle is None:
+            # Retired instructions are approximated by the front-end position
+            # of the oldest un-retired access (in-order retirement).
+            retired = self._position
+            if self._outstanding:
+                retired = min(retired, self._outstanding[0].position)
+            self.retired_instructions = retired
+            if retired >= self.instruction_target:
+                self.finish_cycle = cycle
+
+    # ------------------------------------------------------------------ #
+    # Event hints
+    # ------------------------------------------------------------------ #
+    def next_event_cycle(self, cycle: int) -> int:
+        """Earliest future cycle at which this core can make progress."""
+        events = []
+        entry = self.trace[self._index]
+        events.append(
+            self._front_cycle + entry.gap_instructions / self.instructions_per_dram_cycle
+        )
+        for access in self._outstanding:
+            if access.completion_cycle is not None:
+                events.append(access.completion_cycle)
+        future = [math.ceil(event) for event in events if event > cycle]
+        return min(future) if future else FAR_FUTURE

@@ -1,0 +1,93 @@
+"""DRAM command definitions.
+
+The memory controller drives the DRAM device with a small vocabulary of
+commands.  This module defines that vocabulary and a light-weight command
+record used throughout the simulator.
+
+The command set follows the DDR5 specification subset used by the Chronus
+paper:
+
+* ``ACT``   -- activate (open) a row, loading it into the row buffer.
+* ``PRE``   -- precharge (close) the open row of a bank.
+* ``PREA``  -- precharge all banks of a rank.
+* ``RD``    -- read a column of the open row.
+* ``WR``    -- write a column of the open row.
+* ``REF``   -- periodic all-bank refresh.
+* ``RFM``   -- refresh management: a time window granted to the DRAM chip to
+  perform RowHammer-preventive refreshes (JESD79-5c).
+* ``VRR``   -- victim-row refresh.  This is not an external DDR5 command; it
+  models a memory-controller-side mechanism (e.g. Graphene, PARA, Hydra)
+  refreshing a victim row by activating and precharging it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class CommandKind(enum.Enum):
+    """External and internal DRAM commands modelled by the simulator."""
+
+    ACT = "ACT"
+    PRE = "PRE"
+    PREA = "PREA"
+    RD = "RD"
+    WR = "WR"
+    REF = "REF"
+    RFM = "RFM"
+    VRR = "VRR"
+
+    @property
+    def is_column(self) -> bool:
+        """Return True for column commands (``RD``/``WR``)."""
+        return self in (CommandKind.RD, CommandKind.WR)
+
+    @property
+    def is_row(self) -> bool:
+        """Return True for row commands (``ACT``/``PRE``/``PREA``)."""
+        return self in (CommandKind.ACT, CommandKind.PRE, CommandKind.PREA)
+
+    @property
+    def is_refresh(self) -> bool:
+        """Return True for refresh-class commands (``REF``/``RFM``/``VRR``)."""
+        return self in (CommandKind.REF, CommandKind.RFM, CommandKind.VRR)
+
+
+@dataclass(frozen=True)
+class Command:
+    """A single DRAM command instance.
+
+    Attributes:
+        kind: the command kind.
+        bank_id: flat bank index the command targets (``None`` for rank-level
+            commands such as ``REF`` or all-bank ``RFM``).
+        row: row address for ``ACT``/``VRR`` commands, otherwise ``None``.
+        column: column address for ``RD``/``WR`` commands, otherwise ``None``.
+        cycle: DRAM clock cycle at which the command is issued.
+    """
+
+    kind: CommandKind
+    bank_id: Optional[int] = None
+    row: Optional[int] = None
+    column: Optional[int] = None
+    cycle: int = 0
+
+    def __str__(self) -> str:  # pragma: no cover - convenience only
+        parts = [self.kind.value]
+        if self.bank_id is not None:
+            parts.append(f"b{self.bank_id}")
+        if self.row is not None:
+            parts.append(f"r{self.row}")
+        if self.column is not None:
+            parts.append(f"c{self.column}")
+        parts.append(f"@{self.cycle}")
+        return " ".join(parts)
+
+
+#: Commands that open a row in the row buffer.
+OPENING_COMMANDS = frozenset({CommandKind.ACT})
+
+#: Commands that close the row buffer.
+CLOSING_COMMANDS = frozenset({CommandKind.PRE, CommandKind.PREA})

@@ -1,0 +1,80 @@
+"""Periodic refresh scheduling.
+
+The memory controller must issue a REF command to every rank once per
+refresh interval (tREFI) so that all rows are refreshed within the refresh
+window (tREFW).  DDR5 allows the controller to postpone a bounded number of
+REF commands; the paper notes that up to four REFs may be postponed, which is
+why its security analysis does not rely on periodic refreshes.
+
+:class:`RefreshScheduler` tracks, per rank, when the next REF is due and how
+many REFs are pending (postponed).  The memory controller consults it every
+cycle and issues REF commands opportunistically, prioritising them once the
+postpone budget is exhausted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.dram.timing import TimingParams
+
+
+@dataclass
+class RankRefreshState:
+    """Book-keeping for one rank."""
+
+    next_due_cycle: int = 0
+    pending: int = 0
+    issued: int = 0
+
+
+class RefreshScheduler:
+    """Tracks periodic refresh obligations for every rank."""
+
+    #: Maximum number of REF commands that may be postponed (DDR5 allows 4).
+    MAX_POSTPONED = 4
+
+    def __init__(self, num_ranks: int, timing: TimingParams) -> None:
+        if num_ranks <= 0:
+            raise ValueError("num_ranks must be positive")
+        self.timing = timing
+        self.num_ranks = num_ranks
+        self._ranks: Dict[int, RankRefreshState] = {
+            rank: RankRefreshState(next_due_cycle=timing.tREFI) for rank in range(num_ranks)
+        }
+
+    def tick(self, cycle: int) -> None:
+        """Accrue newly due refreshes up to ``cycle``."""
+        for state in self._ranks.values():
+            while cycle >= state.next_due_cycle:
+                state.pending += 1
+                state.next_due_cycle += self.timing.tREFI
+
+    def pending_refreshes(self, rank: int) -> int:
+        """Number of REF commands currently owed to ``rank``."""
+        return self._ranks[rank].pending
+
+    def refresh_urgent(self, rank: int) -> bool:
+        """True if the rank has exhausted its postpone budget."""
+        return self._ranks[rank].pending >= self.MAX_POSTPONED
+
+    def refresh_needed(self, rank: int) -> bool:
+        """True if at least one REF is owed to ``rank``."""
+        return self._ranks[rank].pending > 0
+
+    def ranks_needing_refresh(self) -> List[int]:
+        """Ranks that currently owe at least one REF."""
+        return [rank for rank, state in self._ranks.items() if state.pending > 0]
+
+    def refresh_issued(self, rank: int) -> None:
+        """Record that a REF command was issued to ``rank``."""
+        state = self._ranks[rank]
+        if state.pending <= 0:
+            raise RuntimeError(f"rank {rank} has no pending refresh to issue")
+        state.pending -= 1
+        state.issued += 1
+
+    def total_issued(self) -> int:
+        """Total REF commands issued across all ranks."""
+        return sum(state.issued for state in self._ranks.values())

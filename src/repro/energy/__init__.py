@@ -1,0 +1,5 @@
+"""DRAM energy accounting (DRAMPower-style per-command model)."""
+
+from repro.energy.drampower import EnergyModel, EnergyBreakdown, DEFAULT_ENERGY_MODEL
+
+__all__ = ["EnergyModel", "EnergyBreakdown", "DEFAULT_ENERGY_MODEL"]

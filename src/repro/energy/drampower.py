@@ -1,0 +1,128 @@
+"""Per-command DRAM energy model.
+
+The paper evaluates DRAM energy with DRAMPower integrated into Ramulator 2.0.
+This module provides the same style of accounting: a per-command energy plus
+a background power term proportional to execution time.  The absolute values
+are representative DDR5 numbers; the experiments only report energy
+*normalised to a baseline with no read-disturbance mitigation*, so what
+matters is the command mix and the execution time, both of which come from
+the simulator.
+
+Mechanism-specific costs are captured by:
+
+* ``act_energy_multiplier`` -- extra energy per row access for in-DRAM
+  counter maintenance (PRAC's in-row read-modify-write, Chronus' counter
+  subarray: +19.07 %, §7.1);
+* victim-row refreshes performed inside RFM commands or borrowed from
+  periodic refreshes (internal row cycles);
+* victim-row refreshes performed by the memory controller (full row cycles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+
+@dataclass(frozen=True)
+class EnergyParameters:
+    """Per-command energies in nanojoules and background power per cycle."""
+
+    act_pre_nj: float = 18.0
+    read_nj: float = 12.0
+    write_nj: float = 14.0
+    refresh_nj: float = 250.0
+    rfm_nj: float = 120.0
+    #: Energy of one internally refreshed victim row (inside REF/RFM windows).
+    internal_victim_row_nj: float = 9.0
+    #: Energy of one controller-side victim-row refresh (a full row cycle).
+    vrr_row_nj: float = 18.0
+    #: Background (standby + peripheral) energy per DRAM clock cycle.
+    background_nj_per_cycle: float = 0.12
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy of one simulation, split by source (all values in nJ)."""
+
+    activation: float = 0.0
+    read: float = 0.0
+    write: float = 0.0
+    refresh: float = 0.0
+    rfm: float = 0.0
+    preventive: float = 0.0
+    background: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (
+            self.activation
+            + self.read
+            + self.write
+            + self.refresh
+            + self.rfm
+            + self.preventive
+            + self.background
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "activation": self.activation,
+            "read": self.read,
+            "write": self.write,
+            "refresh": self.refresh,
+            "rfm": self.rfm,
+            "preventive": self.preventive,
+            "background": self.background,
+            "total": self.total,
+        }
+
+
+class EnergyModel:
+    """Computes the DRAM energy of a simulation from its command counts."""
+
+    def __init__(self, params: EnergyParameters | None = None) -> None:
+        self.params = params or EnergyParameters()
+
+    def compute(
+        self,
+        command_counts: Mapping[str, int],
+        cycles: int,
+        act_energy_multiplier: float = 1.0,
+        internal_victim_rows: int = 0,
+        borrowed_refresh_rows: int = 0,
+    ) -> EnergyBreakdown:
+        """Compute the energy breakdown of one simulation.
+
+        Args:
+            command_counts: DRAM command counts keyed by mnemonic
+                (``ACT``, ``PRE``, ``RD``, ``WR``, ``REF``, ``RFM``, ``VRR``).
+            cycles: total simulated DRAM cycles (for background energy).
+            act_energy_multiplier: per-row-access energy multiplier for
+                in-DRAM counter maintenance.
+            internal_victim_rows: victim rows refreshed inside RFM windows by
+                an on-die mechanism.
+            borrowed_refresh_rows: victim rows refreshed by borrowing time
+                from periodic REF commands.
+        """
+        if cycles < 0:
+            raise ValueError("cycles must be non-negative")
+        p = self.params
+        breakdown = EnergyBreakdown()
+        activations = command_counts.get("ACT", 0)
+        breakdown.activation = activations * p.act_pre_nj * act_energy_multiplier
+        breakdown.read = command_counts.get("RD", 0) * p.read_nj
+        breakdown.write = command_counts.get("WR", 0) * p.write_nj
+        breakdown.refresh = command_counts.get("REF", 0) * p.refresh_nj
+        breakdown.rfm = command_counts.get("RFM", 0) * p.rfm_nj
+        breakdown.preventive = (
+            command_counts.get("VRR", 0) * p.vrr_row_nj
+            + internal_victim_rows * p.internal_victim_row_nj
+            + borrowed_refresh_rows * p.internal_victim_row_nj
+        )
+        breakdown.background = cycles * p.background_nj_per_cycle
+        return breakdown
+
+
+#: Shared default instance.
+DEFAULT_ENERGY_MODEL = EnergyModel()

@@ -1,0 +1,6 @@
+"""Experiment harness: runs the simulations behind every table and figure."""
+
+from repro.experiments.runner import ExperimentRunner, MechanismComparison
+from repro.experiments import figures
+
+__all__ = ["ExperimentRunner", "MechanismComparison", "figures"]

@@ -1,0 +1,221 @@
+"""Experiment runner.
+
+The runner executes the simulations behind the paper's evaluation figures:
+for a set of workload mixes, mechanisms and RowHammer thresholds it
+
+1. simulates every application alone on the baseline (no mitigation) system
+   to obtain the ``IPC_alone`` values the weighted-speedup metric needs,
+2. simulates every mix on the baseline system (the normalisation point), and
+3. simulates every (mix, mechanism, N_RH) combination,
+
+caching the baseline results so they are reused across mechanisms and
+thresholds.  Experiments are scaled by ``accesses_per_core``: the paper runs
+100 M instructions per core on a compute cluster; the default here is small
+enough for a laptop while preserving the relative overheads (see
+EXPERIMENTS.md for the exact budgets used for the recorded results).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.cpu.trace import Trace
+from repro.system.config import SystemConfig, paper_system_config
+from repro.system.metrics import (
+    SimulationResult,
+    max_slowdown,
+    normalized_weighted_speedup,
+    weighted_speedup,
+)
+from repro.system.simulator import simulate
+from repro.workloads.mixes import WorkloadMix, build_mix_traces, workload_mixes
+from repro.workloads.synthetic import generate_trace
+
+
+@dataclass
+class MechanismComparison:
+    """Aggregated results of one (mechanism, N_RH) sweep point."""
+
+    mechanism: str
+    nrh: int
+    normalized_weighted_speedups: List[float] = field(default_factory=list)
+    normalized_energies: List[float] = field(default_factory=list)
+    backoffs_per_mcycle: List[float] = field(default_factory=list)
+    is_secure: bool = True
+
+    @property
+    def mean_normalized_ws(self) -> float:
+        values = self.normalized_weighted_speedups
+        return sum(values) / len(values) if values else 0.0
+
+    @property
+    def mean_normalized_energy(self) -> float:
+        values = self.normalized_energies
+        return sum(values) / len(values) if values else 0.0
+
+    @property
+    def mean_performance_overhead(self) -> float:
+        """Average slowdown versus the no-mitigation baseline (0..1)."""
+        return max(0.0, 1.0 - self.mean_normalized_ws)
+
+    @property
+    def max_performance_overhead(self) -> float:
+        values = self.normalized_weighted_speedups
+        if not values:
+            return 0.0
+        return max(0.0, 1.0 - min(values))
+
+
+class ExperimentRunner:
+    """Runs and caches the simulations of the performance experiments."""
+
+    def __init__(
+        self,
+        base_config: Optional[SystemConfig] = None,
+        accesses_per_core: int = 6000,
+        seed: int = 0,
+    ) -> None:
+        self.base_config = base_config or paper_system_config()
+        self.accesses_per_core = accesses_per_core
+        self.seed = seed
+        self._alone_ipc_cache: Dict[str, float] = {}
+        self._baseline_cache: Dict[Tuple[str, ...], SimulationResult] = {}
+
+    # ------------------------------------------------------------------ #
+    # Building blocks
+    # ------------------------------------------------------------------ #
+    def _mix_traces(self, applications: Sequence[str]) -> List[Trace]:
+        return build_mix_traces(
+            applications,
+            accesses_per_core=self.accesses_per_core,
+            organization=self.base_config.organization,
+            seed=self.seed,
+        )
+
+    def alone_ipc(self, application: str) -> float:
+        """IPC of an application running alone on the baseline system."""
+        if application in self._alone_ipc_cache:
+            return self._alone_ipc_cache[application]
+        config = self.base_config.with_overrides(
+            num_cores=1, mechanism="None", attacker_cores=()
+        )
+        trace = generate_trace(
+            application, num_accesses=self.accesses_per_core, seed=self.seed
+        )
+        result = simulate(config, [trace], workload_name=f"{application}-alone")
+        ipc = result.core_ipcs[0]
+        self._alone_ipc_cache[application] = ipc
+        return ipc
+
+    def baseline_result(self, applications: Sequence[str]) -> SimulationResult:
+        """No-mitigation run of a mix (cached)."""
+        key = tuple(applications)
+        if key in self._baseline_cache:
+            return self._baseline_cache[key]
+        config = self.base_config.with_overrides(
+            num_cores=len(applications), mechanism="None"
+        )
+        result = simulate(config, self._mix_traces(applications),
+                          workload_name="+".join(applications))
+        self._baseline_cache[key] = result
+        return result
+
+    def run_mix(
+        self, applications: Sequence[str], mechanism: str, nrh: int
+    ) -> SimulationResult:
+        """Simulate a mix under one mechanism / threshold."""
+        config = self.base_config.with_overrides(
+            num_cores=len(applications), mechanism=mechanism, nrh=nrh
+        )
+        return simulate(config, self._mix_traces(applications),
+                        workload_name="+".join(applications))
+
+    # ------------------------------------------------------------------ #
+    # Metrics
+    # ------------------------------------------------------------------ #
+    def normalized_ws(
+        self, applications: Sequence[str], result: SimulationResult
+    ) -> float:
+        """Normalised weighted speedup of ``result`` for a mix."""
+        alone = [self.alone_ipc(app) for app in applications]
+        baseline = self.baseline_result(applications)
+        return normalized_weighted_speedup(result.core_ipcs, alone, baseline.core_ipcs)
+
+    def normalized_energy(
+        self, applications: Sequence[str], result: SimulationResult
+    ) -> float:
+        """Energy of ``result`` normalised to the no-mitigation baseline."""
+        baseline = self.baseline_result(applications)
+        if baseline.energy_nj <= 0:
+            return 0.0
+        return result.energy_nj / baseline.energy_nj
+
+    # ------------------------------------------------------------------ #
+    # Sweeps
+    # ------------------------------------------------------------------ #
+    def compare(
+        self,
+        mechanisms: Sequence[str],
+        nrh_values: Sequence[int],
+        mixes: Sequence[Sequence[str]],
+    ) -> List[MechanismComparison]:
+        """Run the full (mechanism x N_RH x mix) sweep and aggregate."""
+        comparisons: List[MechanismComparison] = []
+        for mechanism in mechanisms:
+            for nrh in nrh_values:
+                comparison = MechanismComparison(mechanism=mechanism, nrh=nrh)
+                for applications in mixes:
+                    result = self.run_mix(applications, mechanism, nrh)
+                    comparison.normalized_weighted_speedups.append(
+                        self.normalized_ws(applications, result)
+                    )
+                    comparison.normalized_energies.append(
+                        self.normalized_energy(applications, result)
+                    )
+                    comparison.backoffs_per_mcycle.append(
+                        result.backoffs_per_million_cycles()
+                    )
+                    comparison.is_secure = comparison.is_secure and result.is_secure
+                comparisons.append(comparison)
+        return comparisons
+
+    def single_core_sweep(
+        self,
+        mechanisms: Sequence[str],
+        nrh: int,
+        applications: Sequence[str],
+    ) -> Dict[str, Dict[str, float]]:
+        """Per-application normalised performance (Fig. 7 style).
+
+        Returns ``{mechanism: {application: normalized speedup}}``.
+        """
+        results: Dict[str, Dict[str, float]] = {}
+        for mechanism in mechanisms:
+            per_app: Dict[str, float] = {}
+            for application in applications:
+                result = self.run_mix([application], mechanism, nrh)
+                per_app[application] = self.normalized_ws([application], result)
+            results[mechanism] = per_app
+        return results
+
+
+def default_mixes(count: int, mix_types: Optional[Sequence[str]] = None, seed: int = 42) -> List[WorkloadMix]:
+    """A deterministic subset of the paper's 60 mixes, spread across types."""
+    all_mixes = workload_mixes(mixes_per_type=10, seed=seed)
+    if mix_types is not None:
+        all_mixes = [mix for mix in all_mixes if mix.mix_type in mix_types]
+    if count >= len(all_mixes):
+        return all_mixes
+    # Round-robin across mix types so small counts stay representative.
+    by_type: Dict[str, List[WorkloadMix]] = {}
+    for mix in all_mixes:
+        by_type.setdefault(mix.mix_type, []).append(mix)
+    selected: List[WorkloadMix] = []
+    index = 0
+    while len(selected) < count:
+        for mixes_of_type in by_type.values():
+            if index < len(mixes_of_type) and len(selected) < count:
+                selected.append(mixes_of_type[index])
+        index += 1
+    return selected

@@ -1,0 +1,113 @@
+"""Performance metrics and the simulation result record.
+
+The paper evaluates system performance with the *weighted speedup* metric
+(normalised to a baseline without any read-disturbance mitigation) and the
+performance-attack study additionally reports the *maximum slowdown* of a
+single application.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+def weighted_speedup(shared_ipcs: Sequence[float], alone_ipcs: Sequence[float]) -> float:
+    """Weighted speedup: sum over cores of IPC_shared / IPC_alone."""
+    if len(shared_ipcs) != len(alone_ipcs):
+        raise ValueError("shared and alone IPC lists must have the same length")
+    if not shared_ipcs:
+        raise ValueError("at least one core is required")
+    total = 0.0
+    for shared, alone in zip(shared_ipcs, alone_ipcs):
+        if alone <= 0:
+            raise ValueError("alone IPC must be positive")
+        total += shared / alone
+    return total
+
+
+def normalized_weighted_speedup(
+    shared_ipcs: Sequence[float],
+    alone_ipcs: Sequence[float],
+    baseline_shared_ipcs: Sequence[float],
+) -> float:
+    """Weighted speedup normalised to the no-mitigation baseline run."""
+    mechanism_ws = weighted_speedup(shared_ipcs, alone_ipcs)
+    baseline_ws = weighted_speedup(baseline_shared_ipcs, alone_ipcs)
+    if baseline_ws <= 0:
+        raise ValueError("baseline weighted speedup must be positive")
+    return mechanism_ws / baseline_ws
+
+
+def harmonic_speedup(shared_ipcs: Sequence[float], alone_ipcs: Sequence[float]) -> float:
+    """Harmonic mean of per-core speedups (fairness-oriented metric)."""
+    if len(shared_ipcs) != len(alone_ipcs) or not shared_ipcs:
+        raise ValueError("shared and alone IPC lists must match and be non-empty")
+    total = 0.0
+    for shared, alone in zip(shared_ipcs, alone_ipcs):
+        if shared <= 0:
+            return 0.0
+        total += alone / shared
+    return len(shared_ipcs) / total
+
+
+def max_slowdown(shared_ipcs: Sequence[float], baseline_ipcs: Sequence[float]) -> float:
+    """Maximum per-core slowdown relative to a baseline run (0..1)."""
+    if len(shared_ipcs) != len(baseline_ipcs) or not shared_ipcs:
+        raise ValueError("IPC lists must match and be non-empty")
+    worst = 0.0
+    for shared, baseline in zip(shared_ipcs, baseline_ipcs):
+        if baseline <= 0:
+            continue
+        worst = max(worst, 1.0 - shared / baseline)
+    return worst
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values."""
+    if not values:
+        raise ValueError("values must be non-empty")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def standard_error(values: Sequence[float]) -> float:
+    """Standard error of the mean (as used for the paper's error bars)."""
+    n = len(values)
+    if n <= 1:
+        return 0.0
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    return math.sqrt(variance / n)
+
+
+@dataclass
+class SimulationResult:
+    """Everything a single system simulation produces."""
+
+    mechanism: str
+    nrh: int
+    workload: str
+    cycles: int
+    core_ipcs: List[float]
+    core_names: List[str]
+    command_counts: Dict[str, int]
+    controller_stats: Dict[str, float]
+    mitigation_stats: Dict[str, int]
+    energy_nj: float
+    energy_breakdown: Dict[str, float]
+    is_secure: bool = True
+
+    @property
+    def total_instructions_per_cycle(self) -> float:
+        """Aggregate IPC across all cores (in core cycles)."""
+        return sum(self.core_ipcs)
+
+    def backoffs_per_million_cycles(self) -> float:
+        """Back-off rate, matching the paper's reporting unit."""
+        backoffs = self.mitigation_stats.get("backoffs", 0)
+        if self.cycles == 0:
+            return 0.0
+        return backoffs * 1_000_000 / self.cycles

@@ -1,0 +1,199 @@
+"""The full-system simulator.
+
+:class:`SystemSimulator` wires the trace-driven cores, the shared LLC, the
+memory controller, the DRAM device and the selected read-disturbance
+mitigation mechanism together, and runs them to completion.  The simulator is
+cycle-accurate at DRAM-command granularity but event-driven in time: it skips
+cycles in which no component can make progress, which keeps pure-Python
+simulations tractable while preserving command-level timing fidelity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.controller.address_mapping import mapping_by_name
+from repro.controller.controller import MemoryController
+from repro.core.factory import MechanismSetup, build_mechanism
+from repro.cpu.cache import Cache
+from repro.cpu.core import Core
+from repro.cpu.trace import Trace
+from repro.dram.device import DramDevice
+from repro.dram.timing import ddr5_3200an
+from repro.energy.drampower import DEFAULT_ENERGY_MODEL, EnergyModel
+from repro.system.config import SystemConfig
+from repro.system.metrics import SimulationResult
+
+#: Sentinel "no event" value used by the event hints.
+FAR_FUTURE = 1 << 62
+
+
+class SystemSimulator:
+    """One simulated multi-core system running one workload."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        traces: Sequence[Trace],
+        workload_name: Optional[str] = None,
+        energy_model: Optional[EnergyModel] = None,
+    ) -> None:
+        if len(traces) != config.num_cores:
+            raise ValueError(
+                f"expected {config.num_cores} traces, got {len(traces)}"
+            )
+        self.config = config
+        self.traces = list(traces)
+        self.workload_name = workload_name or "+".join(trace.name for trace in traces)
+        self.energy_model = energy_model or DEFAULT_ENERGY_MODEL
+
+        organization = config.organization
+        self.setup: MechanismSetup = build_mechanism(
+            config.mechanism,
+            nrh=config.nrh,
+            num_banks=organization.total_banks,
+            seed=config.seed,
+        )
+        timing = ddr5_3200an(
+            prac=self.setup.use_prac_timings,
+            legacy_prac_timings=(
+                config.legacy_prac_timings and self.setup.use_prac_timings
+            ),
+        )
+        self.device = DramDevice(organization, timing, mitigation=self.setup.on_die)
+        mapping = mapping_by_name(config.address_mapping, organization)
+        self.controller = MemoryController(
+            device=self.device,
+            mapping=mapping,
+            mechanism=self.setup.controller,
+            read_queue_size=config.read_queue_size,
+            write_queue_size=config.write_queue_size,
+            scheduler_cap=config.scheduler_cap,
+        )
+        self.llc = Cache(
+            size_bytes=config.llc_size_bytes,
+            associativity=config.llc_associativity,
+            line_size=config.llc_line_size,
+        )
+        self.cores = [
+            Core(
+                core_id=index,
+                trace=trace,
+                llc=self.llc,
+                clock_ratio=config.clock_ratio,
+                issue_width=config.issue_width,
+                window_size=config.window_size,
+                max_outstanding=config.max_outstanding,
+                llc_hit_latency=config.llc_hit_latency,
+                bypass_llc=index in config.attacker_cores,
+            )
+            for index, trace in enumerate(self.traces)
+        ]
+        self.cycle = 0
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+    def run(self) -> SimulationResult:
+        """Run the simulation until every core retires its target."""
+        cycle = self.cycle
+        cores = self.cores
+        controller = self.controller
+        max_cycles = self.config.max_cycles
+
+        while True:
+            for core in cores:
+                while core.try_issue(cycle, controller):
+                    pass
+            issued, hint = controller.tick(cycle)
+            completed = controller.drain_completed()
+            for request in completed:
+                if request.is_read:
+                    cores[request.core_id].notify_completion(request, cycle)
+
+            if all(core.finished for core in cores):
+                break
+            if cycle >= max_cycles:
+                break
+
+            if completed and not issued:
+                # Completions that land on the current cycle unblock the
+                # cores immediately; give them a chance to react before
+                # advancing time (otherwise a final same-cycle completion
+                # would look like a deadlock).
+                continue
+            if issued:
+                cycle += 1
+                continue
+            wake = hint
+            for core in cores:
+                if not core.finished:
+                    wake = min(wake, core.next_event_cycle(cycle))
+            if wake <= cycle:
+                cycle += 1
+            elif wake >= FAR_FUTURE:
+                raise RuntimeError(
+                    f"simulation deadlock at cycle {cycle} "
+                    f"({self.workload_name}, {self.config.mechanism})"
+                )
+            else:
+                cycle = min(wake, max_cycles)
+
+        self.cycle = cycle
+        return self._build_result(cycle)
+
+    # ------------------------------------------------------------------ #
+    # Result assembly
+    # ------------------------------------------------------------------ #
+    def _build_result(self, cycles: int) -> SimulationResult:
+        mitigation_stats: Dict[str, int] = {}
+        borrowed_rows = 0
+        for mechanism in self.setup.mechanisms():
+            for key, value in mechanism.stats.as_dict().items():
+                mitigation_stats[key] = mitigation_stats.get(key, 0) + value
+            borrowed_rows += mechanism.stats.borrowed_refreshes
+
+        breakdown = self.energy_model.compute(
+            command_counts=self.device.command_counts,
+            cycles=cycles,
+            act_energy_multiplier=self.setup.act_energy_multiplier,
+            internal_victim_rows=self.device.internal_victim_rows,
+            borrowed_refresh_rows=borrowed_rows,
+        )
+        stats = self.controller.stats
+        controller_stats = {
+            "reads_served": stats.reads_served,
+            "writes_served": stats.writes_served,
+            "row_hits": stats.row_hits,
+            "row_misses": stats.row_misses,
+            "row_conflicts": stats.row_conflicts,
+            "refreshes": stats.refreshes,
+            "rfms": stats.rfms,
+            "backoffs_observed": stats.backoffs_observed,
+            "preventive_refresh_rows": stats.preventive_refresh_rows,
+            "average_read_latency": stats.average_read_latency(),
+            "llc_miss_rate": self.llc.stats.miss_rate,
+        }
+        return SimulationResult(
+            mechanism=self.config.mechanism,
+            nrh=self.config.nrh,
+            workload=self.workload_name,
+            cycles=cycles,
+            core_ipcs=[core.ipc() for core in self.cores],
+            core_names=[trace.name for trace in self.traces],
+            command_counts=dict(self.device.command_counts),
+            controller_stats=controller_stats,
+            mitigation_stats=mitigation_stats,
+            energy_nj=breakdown.total,
+            energy_breakdown=breakdown.as_dict(),
+            is_secure=self.setup.is_secure,
+        )
+
+
+def simulate(
+    config: SystemConfig,
+    traces: Sequence[Trace],
+    workload_name: Optional[str] = None,
+) -> SimulationResult:
+    """Convenience wrapper: build a :class:`SystemSimulator` and run it."""
+    return SystemSimulator(config, traces, workload_name=workload_name).run()

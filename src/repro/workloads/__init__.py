@@ -1,0 +1,32 @@
+"""Workloads: synthetic benign application traces, mixes, and attackers."""
+
+from repro.workloads.synthetic import (
+    AppProfile,
+    APP_PROFILES,
+    app_names,
+    apps_by_category,
+    generate_trace,
+    profile_by_name,
+)
+from repro.workloads.mixes import MIX_TYPES, WorkloadMix, build_mix_traces, workload_mixes
+from repro.workloads.attacker import (
+    performance_attack_trace,
+    wave_attack_addresses,
+    wave_attack_trace,
+)
+
+__all__ = [
+    "AppProfile",
+    "APP_PROFILES",
+    "app_names",
+    "apps_by_category",
+    "generate_trace",
+    "profile_by_name",
+    "MIX_TYPES",
+    "WorkloadMix",
+    "workload_mixes",
+    "build_mix_traces",
+    "performance_attack_trace",
+    "wave_attack_trace",
+    "wave_attack_addresses",
+]

@@ -1,0 +1,58 @@
+"""Tests for the §11 / Appendix D bandwidth-attack analysis."""
+
+import pytest
+
+from repro.analysis.bandwidth import (
+    bandwidth_attack_table,
+    chronus_max_bandwidth_consumption,
+    dram_bandwidth_consumption,
+    prac_max_bandwidth_consumption,
+)
+
+
+class TestDbcFormula:
+    def test_expression3_values(self):
+        # PRAC at N_RH = 20 in the paper: NBO=1, NRef=4, tRFM=350, tRC=52.
+        paper_value = dram_bandwidth_consumption(nref=4, nbo=1, trfm_ns=350, trc_ns=52)
+        assert paper_value == pytest.approx(0.964, abs=0.01)
+        # Chronus: NBO=16, one RFM per back-off, tRC=47.
+        chronus_value = dram_bandwidth_consumption(nref=1, nbo=16, trfm_ns=350, trc_ns=47)
+        assert chronus_value == pytest.approx(0.318, abs=0.01)
+
+    def test_monotonic_in_nbo(self):
+        assert dram_bandwidth_consumption(4, 1, 350, 52) > dram_bandwidth_consumption(4, 16, 350, 52)
+
+    def test_monotonic_in_nref(self):
+        assert dram_bandwidth_consumption(4, 4, 350, 52) > dram_bandwidth_consumption(1, 4, 350, 52)
+
+    def test_bounded_between_zero_and_one(self):
+        for nref in (1, 2, 4):
+            for nbo in (1, 16, 256):
+                assert 0.0 < dram_bandwidth_consumption(nref, nbo, 350, 47) < 1.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            dram_bandwidth_consumption(0, 1, 350, 47)
+        with pytest.raises(ValueError):
+            dram_bandwidth_consumption(1, 1, 0, 47)
+
+
+class TestMechanismBounds:
+    def test_prac_much_worse_than_chronus_at_nrh_20(self):
+        """The paper reports 94% (PRAC) vs 32% (Chronus)."""
+        prac = prac_max_bandwidth_consumption(20)
+        chronus = chronus_max_bandwidth_consumption(20)
+        assert prac > 0.8
+        assert 0.25 < chronus < 0.4
+        assert prac > 2 * chronus
+
+    def test_chronus_bound_improves_with_higher_nrh(self):
+        assert chronus_max_bandwidth_consumption(128) < chronus_max_bandwidth_consumption(20)
+
+    def test_table_contains_both_mechanisms(self):
+        table = bandwidth_attack_table((128, 20))
+        mechanisms = {(row.mechanism, row.nrh) for row in table}
+        assert ("PRAC-4", 20) in mechanisms
+        assert ("Chronus", 128) in mechanisms
+        for row in table:
+            assert 0.0 < row.consumption < 1.0

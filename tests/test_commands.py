@@ -1,0 +1,49 @@
+"""Tests for DRAM command definitions."""
+
+from repro.dram.commands import CLOSING_COMMANDS, OPENING_COMMANDS, Command, CommandKind
+
+
+class TestCommandKind:
+    def test_column_commands(self):
+        assert CommandKind.RD.is_column
+        assert CommandKind.WR.is_column
+        assert not CommandKind.ACT.is_column
+
+    def test_row_commands(self):
+        assert CommandKind.ACT.is_row
+        assert CommandKind.PRE.is_row
+        assert CommandKind.PREA.is_row
+        assert not CommandKind.RD.is_row
+
+    def test_refresh_commands(self):
+        assert CommandKind.REF.is_refresh
+        assert CommandKind.RFM.is_refresh
+        assert CommandKind.VRR.is_refresh
+        assert not CommandKind.ACT.is_refresh
+
+    def test_opening_and_closing_sets(self):
+        assert CommandKind.ACT in OPENING_COMMANDS
+        assert CommandKind.PRE in CLOSING_COMMANDS
+        assert CommandKind.PREA in CLOSING_COMMANDS
+
+
+class TestCommand:
+    def test_defaults(self):
+        cmd = Command(CommandKind.REF)
+        assert cmd.bank_id is None
+        assert cmd.row is None
+        assert cmd.cycle == 0
+
+    def test_str_includes_fields(self):
+        cmd = Command(CommandKind.ACT, bank_id=3, row=17, cycle=99)
+        text = str(cmd)
+        assert "ACT" in text and "b3" in text and "r17" in text and "@99" in text
+
+    def test_frozen(self):
+        cmd = Command(CommandKind.ACT, bank_id=1, row=2)
+        try:
+            cmd.row = 5
+            raised = False
+        except Exception:
+            raised = True
+        assert raised

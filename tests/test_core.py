@@ -1,0 +1,132 @@
+"""Tests for the trace-driven core model."""
+
+import pytest
+
+from repro.controller.address_mapping import mop_mapping
+from repro.controller.controller import MemoryController
+from repro.cpu.cache import Cache
+from repro.cpu.core import Core
+from repro.cpu.trace import Trace, TraceEntry
+from repro.dram.device import DramDevice
+from repro.dram.organization import DramOrganization
+from repro.dram.timing import ddr5_3200an
+
+
+ORG = DramOrganization(ranks=1, bankgroups=2, banks_per_group=2, rows=512, columns=32)
+
+
+def make_system():
+    device = DramDevice(ORG, ddr5_3200an())
+    controller = MemoryController(device, mop_mapping(ORG))
+    llc = Cache(size_bytes=64 * 1024, associativity=8, line_size=64)
+    return controller, llc
+
+
+def run_core(core, controller, max_cycles=200_000):
+    cycle = 0
+    while not core.finished and cycle < max_cycles:
+        while core.try_issue(cycle, controller):
+            pass
+        issued, hint = controller.tick(cycle)
+        completed = controller.drain_completed()
+        for request in completed:
+            if request.is_read:
+                core.notify_completion(request, cycle)
+        if completed and not issued:
+            # Same-cycle completions unblock the core; retry before advancing.
+            continue
+        if issued:
+            cycle += 1
+        else:
+            wake = min(hint, core.next_event_cycle(cycle))
+            cycle = cycle + 1 if wake <= cycle else min(wake, max_cycles)
+    return cycle
+
+
+def streaming_trace(num_accesses=50, gap=20, stride=64, write_every=0):
+    entries = []
+    for index in range(num_accesses):
+        is_write = write_every > 0 and index % write_every == 0
+        entries.append(TraceEntry(gap_instructions=gap, address=index * stride,
+                                  is_write=is_write))
+    return Trace("stream", entries)
+
+
+class TestCoreExecution:
+    def test_core_finishes_and_reports_ipc(self):
+        controller, llc = make_system()
+        core = Core(0, streaming_trace(), llc)
+        final_cycle = run_core(core, controller)
+        assert core.finished
+        assert core.finish_cycle is not None and core.finish_cycle <= final_cycle
+        assert 0 < core.ipc() <= core.issue_width
+
+    def test_llc_hits_do_not_reach_dram(self):
+        controller, llc = make_system()
+        # Repeatedly access a single line: one DRAM read, then LLC hits.
+        entries = [TraceEntry(gap_instructions=5, address=0x100) for _ in range(40)]
+        core = Core(0, Trace("hot", entries), llc)
+        run_core(core, controller)
+        assert core.llc_misses == 1
+        assert core.mem_reads == 1
+        assert controller.stats.reads_served == 1
+
+    def test_bypass_llc_sends_everything_to_dram(self):
+        controller, llc = make_system()
+        entries = [TraceEntry(gap_instructions=0, address=0x100) for _ in range(10)]
+        core = Core(0, Trace("attack", entries), llc, bypass_llc=True)
+        run_core(core, controller)
+        # The trace wraps until the instruction target retires, so at least
+        # one full pass reaches DRAM and the LLC is never consulted.
+        assert core.mem_reads >= 10
+        assert core.llc_hits == 0
+        assert controller.stats.reads_served >= 10
+
+    def test_memory_bound_core_slower_than_compute_bound(self):
+        controller_a, llc_a = make_system()
+        compute = Core(0, streaming_trace(num_accesses=30, gap=400), llc_a)
+        compute_cycles = run_core(compute, controller_a)
+
+        controller_b, llc_b = make_system()
+        memory = Core(0, streaming_trace(num_accesses=30, gap=0, stride=64 * 1024), llc_b)
+        run_core(memory, controller_b)
+        assert compute.ipc() > memory.ipc()
+
+    def test_writes_do_not_block_retirement(self):
+        controller, llc = make_system()
+        core = Core(0, streaming_trace(num_accesses=40, write_every=2), llc)
+        run_core(core, controller)
+        assert core.finished
+        assert core.mem_writes > 0
+
+    def test_mshr_limit_bounds_outstanding_reads(self):
+        controller, llc = make_system()
+        entries = [TraceEntry(gap_instructions=0, address=i * 128 * 1024) for i in range(64)]
+        core = Core(0, Trace("burst", entries), llc, max_outstanding=4)
+        cycle = 0
+        max_in_flight = 0
+        while not core.finished and cycle < 100_000:
+            while core.try_issue(cycle, controller):
+                pass
+            max_in_flight = max(max_in_flight, core._reads_in_flight)
+            issued, hint = controller.tick(cycle)
+            for request in controller.drain_completed():
+                if request.is_read:
+                    core.notify_completion(request, cycle)
+            cycle = cycle + 1 if issued else max(cycle + 1, min(hint, cycle + 1000))
+        assert max_in_flight <= 4
+
+    def test_invalid_parameters(self):
+        _, llc = make_system()
+        with pytest.raises(ValueError):
+            Core(0, streaming_trace(), llc, clock_ratio=0)
+        with pytest.raises(ValueError):
+            Core(0, streaming_trace(), llc, window_size=0)
+
+    def test_trace_wraps_until_target(self):
+        controller, llc = make_system()
+        trace = streaming_trace(num_accesses=10, gap=10)
+        core = Core(0, trace, llc, instruction_target=3 * trace.total_instructions)
+        run_core(core, controller)
+        assert core.finished
+        assert core.retired_instructions >= 3 * trace.total_instructions

@@ -1,0 +1,81 @@
+"""Tests for the Appendix A decrementer circuit."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.decrementer import (
+    CRITICAL_PATH_DELAY_NS,
+    DecrementerCircuit,
+    GateCounts,
+    TRANSISTORS_PER_GATE,
+)
+
+
+@pytest.fixture
+def circuit():
+    return DecrementerCircuit()
+
+
+class TestFunctionalCorrectness:
+    def test_exhaustive_truth_table(self, circuit):
+        for value in range(256):
+            assert circuit.evaluate(value) == (value - 1) % 256
+
+    def test_zero_wraps_to_255(self, circuit):
+        assert circuit.evaluate(0) == 255
+
+    def test_out_of_range_rejected(self, circuit):
+        with pytest.raises(ValueError):
+            circuit.evaluate(256)
+        with pytest.raises(ValueError):
+            circuit.evaluate(-1)
+
+    def test_decrement_alias(self, circuit):
+        assert circuit.decrement(100) == 99
+
+
+class TestHardwareCost:
+    def test_gate_count_matches_paper(self, circuit):
+        assert circuit.gate_count == 21
+
+    def test_transistor_count_matches_paper(self, circuit):
+        assert circuit.transistor_count == 96
+
+    def test_static_gate_breakdown(self, circuit):
+        gates = circuit.static_gates
+        assert (gates.NOT, gates.MUX, gates.NAND, gates.NOR) == (8, 7, 5, 1)
+
+    def test_critical_path_fits_in_row_cycle(self, circuit):
+        assert circuit.critical_path_delay_ns == CRITICAL_PATH_DELAY_NS
+        assert circuit.fits_within_row_cycle(trc_ns=47.0)
+        assert not circuit.fits_within_row_cycle(trc_ns=0.1)
+
+    def test_table_rows_sum_to_total_transistors(self, circuit):
+        rows = circuit.table_rows()
+        assert len(rows) == 8
+        assert sum(row["transistors"] for row in rows) == 96
+        assert sum(row["NOT"] for row in rows) == 8
+        assert sum(row["MUX"] for row in rows) == 7
+        assert sum(row["NAND"] for row in rows) == 5
+        assert sum(row["NOR"] for row in rows) == 1
+
+    def test_gate_counts_helper(self):
+        counts = GateCounts(NOT=1, MUX=1, NAND=1, NOR=1)
+        expected = sum(TRANSISTORS_PER_GATE.values())
+        assert counts.total_transistors == expected
+        assert counts.total_gates == 4
+
+
+@given(st.integers(min_value=0, max_value=255))
+def test_decrementer_matches_arithmetic(value):
+    circuit = DecrementerCircuit()
+    assert circuit.evaluate(value) == (value - 1) % 256
+
+
+@given(st.integers(min_value=1, max_value=255))
+def test_repeated_decrement_reaches_zero(start):
+    circuit = DecrementerCircuit()
+    value = start
+    for _ in range(start):
+        value = circuit.evaluate(value)
+    assert value == 0

@@ -1,0 +1,58 @@
+"""Tests for the DRAM energy model."""
+
+import pytest
+
+from repro.energy.drampower import EnergyModel, EnergyParameters
+
+
+class TestEnergyModel:
+    def test_empty_simulation_only_background(self):
+        model = EnergyModel()
+        breakdown = model.compute({}, cycles=1000)
+        assert breakdown.total == pytest.approx(breakdown.background)
+        assert breakdown.background == pytest.approx(1000 * model.params.background_nj_per_cycle)
+
+    def test_command_energies_accumulate(self):
+        params = EnergyParameters(act_pre_nj=10, read_nj=2, write_nj=3, refresh_nj=100,
+                                  rfm_nj=50, background_nj_per_cycle=0.0)
+        model = EnergyModel(params)
+        breakdown = model.compute(
+            {"ACT": 5, "RD": 4, "WR": 2, "REF": 1, "RFM": 2}, cycles=100
+        )
+        assert breakdown.activation == 50
+        assert breakdown.read == 8
+        assert breakdown.write == 6
+        assert breakdown.refresh == 100
+        assert breakdown.rfm == 100
+        assert breakdown.total == 264
+
+    def test_act_multiplier_applies_only_to_activations(self):
+        model = EnergyModel(EnergyParameters(background_nj_per_cycle=0.0))
+        plain = model.compute({"ACT": 10, "RD": 10}, cycles=0)
+        boosted = model.compute({"ACT": 10, "RD": 10}, cycles=0, act_energy_multiplier=1.19)
+        assert boosted.activation == pytest.approx(plain.activation * 1.19)
+        assert boosted.read == plain.read
+
+    def test_preventive_rows_counted(self):
+        params = EnergyParameters(vrr_row_nj=20, internal_victim_row_nj=5,
+                                  background_nj_per_cycle=0.0)
+        model = EnergyModel(params)
+        breakdown = model.compute({"VRR": 3}, cycles=0, internal_victim_rows=4,
+                                  borrowed_refresh_rows=2)
+        assert breakdown.preventive == 3 * 20 + 6 * 5
+
+    def test_longer_execution_costs_more_background(self):
+        model = EnergyModel()
+        short = model.compute({"ACT": 100}, cycles=10_000)
+        long = model.compute({"ACT": 100}, cycles=20_000)
+        assert long.total > short.total
+
+    def test_breakdown_as_dict(self):
+        model = EnergyModel()
+        d = model.compute({"ACT": 1}, cycles=1).as_dict()
+        assert set(d) == {"activation", "read", "write", "refresh", "rfm",
+                          "preventive", "background", "total"}
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel().compute({}, cycles=-1)

@@ -1,0 +1,115 @@
+"""Tests for the experiment runner and figure data generators."""
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.runner import ExperimentRunner, default_mixes
+
+
+ACCESSES = 250
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(accesses_per_core=ACCESSES, seed=0)
+
+
+class TestRunner:
+    def test_alone_ipc_cached(self, runner):
+        first = runner.alone_ipc("429.mcf")
+        second = runner.alone_ipc("429.mcf")
+        assert first == second
+        assert first > 0
+
+    def test_baseline_cached(self, runner):
+        apps = ("429.mcf", "401.bzip2")
+        first = runner.baseline_result(apps)
+        second = runner.baseline_result(apps)
+        assert first is second
+
+    def test_normalized_ws_close_to_one_for_baseline_like_run(self, runner):
+        apps = ("429.mcf", "401.bzip2")
+        result = runner.run_mix(apps, "Chronus", 1024)
+        value = runner.normalized_ws(apps, result)
+        assert 0.9 <= value <= 1.05
+
+    def test_compare_produces_one_row_per_point(self, runner):
+        mixes = [("429.mcf", "401.bzip2")]
+        comparisons = runner.compare(["Chronus", "PRAC-4"], [1024, 20], mixes)
+        assert len(comparisons) == 4
+        keyed = {(c.mechanism, c.nrh): c for c in comparisons}
+        assert keyed[("PRAC-4", 20)].mean_normalized_ws <= keyed[("Chronus", 20)].mean_normalized_ws
+        for comparison in comparisons:
+            assert 0.0 < comparison.mean_normalized_ws <= 1.2
+            assert comparison.mean_normalized_energy > 0.0
+
+    def test_default_mixes_spread_across_types(self):
+        mixes = default_mixes(6)
+        assert len(mixes) == 6
+        assert len({mix.mix_type for mix in mixes}) == 6
+        assert len(default_mixes(3, mix_types=["HHHH"])) == 3
+
+
+class TestAnalyticalFigures:
+    def test_table1(self):
+        rows = figures.table1_data()
+        assert {row["parameter"] for row in rows} == {"tRAS", "tRP", "tRC", "tRTP", "tWR"}
+
+    def test_fig3a(self):
+        rows = figures.fig3a_data(rfm_thresholds=(2, 32), row_set_sizes=(2048, 65536))
+        assert len(rows) == 4
+        assert all(row["max_acts"] >= 1 for row in rows)
+
+    def test_fig3b(self):
+        rows = figures.fig3b_data(backoff_thresholds=(1, 8), nrefs=(1, 4),
+                                  row_set_sizes=(2048,))
+        assert len(rows) == 4
+        by_key = {(r["nbo"], r["nref"]): r["max_acts"] for r in rows}
+        assert by_key[(8, 4)] >= by_key[(1, 4)]
+
+    def test_fig11_and_fig13(self):
+        fig11 = figures.fig11_data(nrh_values=(1024, 20))
+        assert {row["mechanism"] for row in fig11} == set(figures.FIG11_MECHANISMS)
+        fig13 = figures.fig13_data(nrh_values=(1024, 20))
+        assert {row["mechanism"] for row in fig13} == {"Chronus", "ABACuS"}
+
+    def test_sec11_theory(self):
+        rows = figures.sec11_theory_data(nrh_values=(20,))
+        by_mechanism = {row["mechanism"]: row for row in rows}
+        assert by_mechanism["PRAC-4"]["max_bandwidth_consumption"] > \
+            by_mechanism["Chronus"]["max_bandwidth_consumption"]
+
+    def test_appendix_a(self):
+        data = figures.appendix_a_data()
+        assert data["gate_count"] == 21
+        assert data["transistor_count"] == 96
+        assert data["functional_mismatches"] == 0
+        assert data["fits_within_trc"]
+
+    def test_format_rows(self):
+        text = figures.format_rows([{"a": 1, "b": 2.5}, {"a": 3, "b": 4.0}])
+        assert "a" in text and "2.500" in text
+        assert figures.format_rows([]) == "(no rows)"
+
+
+class TestSimulationFigures:
+    def test_fig8_data_small(self):
+        rows = figures.fig8_data(
+            nrh_values=(1024,),
+            mechanisms=("Chronus", "PRAC-4"),
+            num_mixes=1,
+            accesses_per_core=ACCESSES,
+        )
+        assert len(rows) == 2
+        by_mechanism = {row["mechanism"]: row for row in rows}
+        assert by_mechanism["Chronus"]["normalized_ws"] >= by_mechanism["PRAC-4"]["normalized_ws"]
+
+    def test_fig9_data_small(self):
+        rows = figures.fig9_data(
+            nrh=64,
+            mechanisms=("Chronus",),
+            mixes_per_type=1,
+            accesses_per_core=ACCESSES,
+        )
+        assert len(rows) == len(figures.MIX_TYPES)
+        assert all(0.0 < row["normalized_ws"] <= 1.2 for row in rows)

@@ -1,0 +1,84 @@
+"""Tests for performance metrics."""
+
+import pytest
+
+from repro.system.metrics import (
+    SimulationResult,
+    geometric_mean,
+    harmonic_speedup,
+    max_slowdown,
+    normalized_weighted_speedup,
+    standard_error,
+    weighted_speedup,
+)
+
+
+class TestWeightedSpeedup:
+    def test_equal_ipcs_give_core_count(self):
+        assert weighted_speedup([1.0, 1.0], [1.0, 1.0]) == pytest.approx(2.0)
+
+    def test_halved_ipcs_give_half(self):
+        assert weighted_speedup([0.5, 0.5], [1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([1.0], [1.0, 1.0])
+
+    def test_zero_alone_ipc_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([1.0], [0.0])
+
+    def test_normalized_to_baseline(self):
+        value = normalized_weighted_speedup([0.5, 0.5], [1.0, 1.0], [1.0, 1.0])
+        assert value == pytest.approx(0.5)
+
+    def test_normalized_is_one_for_baseline_itself(self):
+        assert normalized_weighted_speedup([0.7, 0.9], [1.0, 1.0], [0.7, 0.9]) == pytest.approx(1.0)
+
+
+class TestOtherMetrics:
+    def test_harmonic_speedup(self):
+        assert harmonic_speedup([1.0, 1.0], [1.0, 1.0]) == pytest.approx(1.0)
+        assert harmonic_speedup([0.5, 1.0], [1.0, 1.0]) < 1.0
+
+    def test_max_slowdown(self):
+        assert max_slowdown([0.5, 0.9], [1.0, 1.0]) == pytest.approx(0.5)
+        assert max_slowdown([1.0, 1.0], [1.0, 1.0]) == 0.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([0.0, 1.0])
+
+    def test_standard_error(self):
+        assert standard_error([1.0]) == 0.0
+        assert standard_error([1.0, 1.0, 1.0]) == 0.0
+        assert standard_error([0.0, 2.0]) > 0.0
+
+
+class TestSimulationResult:
+    def make_result(self, **overrides):
+        values = dict(
+            mechanism="Chronus",
+            nrh=1024,
+            workload="demo",
+            cycles=1_000_000,
+            core_ipcs=[1.0, 2.0],
+            core_names=["a", "b"],
+            command_counts={"ACT": 10},
+            controller_stats={},
+            mitigation_stats={"backoffs": 5},
+            energy_nj=123.0,
+            energy_breakdown={},
+        )
+        values.update(overrides)
+        return SimulationResult(**values)
+
+    def test_total_ipc(self):
+        assert self.make_result().total_instructions_per_cycle == pytest.approx(3.0)
+
+    def test_backoffs_per_million_cycles(self):
+        assert self.make_result().backoffs_per_million_cycles() == pytest.approx(5.0)
+        assert self.make_result(cycles=0).backoffs_per_million_cycles() == 0.0

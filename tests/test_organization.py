@@ -1,0 +1,95 @@
+"""Tests for the DRAM organization model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dram.organization import (
+    PAPER_ORGANIZATION,
+    STORAGE_STUDY_ORGANIZATION,
+    DramAddress,
+    DramOrganization,
+)
+
+
+class TestPaperOrganization:
+    def test_total_banks_is_64(self):
+        assert PAPER_ORGANIZATION.total_banks == 64
+
+    def test_banks_per_rank(self):
+        assert PAPER_ORGANIZATION.banks_per_rank == 32
+
+    def test_rows_per_bank(self):
+        assert PAPER_ORGANIZATION.rows == 65536
+
+    def test_capacity_positive(self):
+        assert PAPER_ORGANIZATION.capacity_bytes > 0
+
+    def test_storage_study_uses_128k_rows(self):
+        assert STORAGE_STUDY_ORGANIZATION.rows == 131072
+        assert STORAGE_STUDY_ORGANIZATION.total_banks == 64
+
+
+class TestFlatBankIndex:
+    def test_zero(self):
+        assert PAPER_ORGANIZATION.flat_bank_index(0, 0, 0) == 0
+
+    def test_max(self):
+        org = PAPER_ORGANIZATION
+        assert org.flat_bank_index(1, 7, 3) == org.total_banks - 1
+
+    def test_roundtrip_all(self):
+        org = PAPER_ORGANIZATION
+        for flat in range(org.total_banks):
+            rank, bankgroup, bank = org.unflatten_bank_index(flat)
+            assert org.flat_bank_index(rank, bankgroup, bank) == flat
+
+    def test_out_of_range_rank(self):
+        with pytest.raises(ValueError):
+            PAPER_ORGANIZATION.flat_bank_index(2, 0, 0)
+
+    def test_out_of_range_flat(self):
+        with pytest.raises(ValueError):
+            PAPER_ORGANIZATION.unflatten_bank_index(64)
+
+
+class TestAddressValidation:
+    def test_valid_address(self):
+        addr = DramAddress(channel=0, rank=1, bankgroup=7, bank=3, row=1000, column=5)
+        PAPER_ORGANIZATION.validate_address(addr)
+
+    def test_invalid_row(self):
+        addr = DramAddress(channel=0, rank=0, bankgroup=0, bank=0, row=70000, column=0)
+        with pytest.raises(ValueError):
+            PAPER_ORGANIZATION.validate_address(addr)
+
+    def test_invalid_column(self):
+        addr = DramAddress(channel=0, rank=0, bankgroup=0, bank=0, row=0, column=1000)
+        with pytest.raises(ValueError):
+            PAPER_ORGANIZATION.validate_address(addr)
+
+    def test_flat_bank_of_address(self):
+        addr = DramAddress(channel=0, rank=1, bankgroup=0, bank=0, row=0, column=0)
+        assert addr.flat_bank(PAPER_ORGANIZATION) == 32
+
+
+@given(
+    rank=st.integers(min_value=0, max_value=1),
+    bankgroup=st.integers(min_value=0, max_value=7),
+    bank=st.integers(min_value=0, max_value=3),
+)
+def test_flat_bank_index_bijective(rank, bankgroup, bank):
+    org = PAPER_ORGANIZATION
+    flat = org.flat_bank_index(rank, bankgroup, bank)
+    assert 0 <= flat < org.total_banks
+    assert org.unflatten_bank_index(flat) == (rank, bankgroup, bank)
+
+
+@given(
+    ranks=st.integers(min_value=1, max_value=4),
+    bankgroups=st.integers(min_value=1, max_value=8),
+    banks=st.integers(min_value=1, max_value=4),
+)
+def test_total_banks_consistent(ranks, bankgroups, banks):
+    org = DramOrganization(ranks=ranks, bankgroups=bankgroups, banks_per_group=banks)
+    assert org.total_banks == ranks * bankgroups * banks
+    assert org.total_rows == org.total_banks * org.rows

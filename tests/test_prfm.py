@@ -1,0 +1,81 @@
+"""Tests for PRFM (periodic refresh management)."""
+
+import pytest
+
+from repro.core.prfm import PRFM
+
+
+class TestConfiguration:
+    def test_default_threshold_secure(self):
+        prfm = PRFM(nrh=1024, num_banks=4)
+        assert prfm.is_secure
+        assert prfm.rfm_threshold >= 2
+
+    def test_threshold_shrinks_with_nrh(self):
+        assert PRFM(nrh=64, num_banks=4).rfm_threshold < PRFM(nrh=1024, num_banks=4).rfm_threshold
+
+    def test_explicit_threshold(self):
+        assert PRFM(nrh=1024, num_banks=4, rfm_threshold=75).rfm_threshold == 75
+
+    def test_insecure_fallback(self):
+        prfm = PRFM(nrh=4, num_banks=4, allow_insecure=True)
+        assert not prfm.is_secure
+        assert prfm.rfm_threshold == 2
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            PRFM(nrh=1024, num_banks=0)
+        with pytest.raises(ValueError):
+            PRFM(nrh=1024, num_banks=4, rfm_threshold=0)
+
+    def test_does_not_require_prac_timings(self):
+        assert PRFM.requires_prac_timings is False
+
+
+class TestRfmRequests:
+    def test_rfm_needed_after_threshold_activations(self):
+        prfm = PRFM(nrh=1024, num_banks=2, rfm_threshold=3)
+        for cycle in range(2):
+            prfm.on_activate(0, cycle, cycle)
+        assert not prfm.rfm_needed(0)
+        prfm.on_activate(0, 99, 2)
+        assert prfm.rfm_needed(0)
+        assert not prfm.rfm_needed(1)
+
+    def test_acknowledge_resets_counter(self):
+        prfm = PRFM(nrh=1024, num_banks=1, rfm_threshold=2)
+        prfm.on_activate(0, 1, 0)
+        prfm.on_activate(0, 2, 1)
+        assert prfm.rfm_needed(0)
+        prfm.acknowledge_rfm(0, 10)
+        assert not prfm.rfm_needed(0)
+        assert prfm.bank_counter(0) == 0
+        assert prfm.stats.rfm_commands == 1
+        assert prfm.stats.preventive_refresh_rows == prfm.victim_rows_per_aggressor
+
+    def test_counters_per_bank_independent(self):
+        prfm = PRFM(nrh=1024, num_banks=2, rfm_threshold=5)
+        prfm.on_activate(0, 1, 0)
+        prfm.on_activate(1, 1, 0)
+        assert prfm.bank_counter(0) == 1
+        assert prfm.bank_counter(1) == 1
+
+    def test_reset(self):
+        prfm = PRFM(nrh=1024, num_banks=1, rfm_threshold=1)
+        prfm.on_activate(0, 1, 0)
+        prfm.reset()
+        assert not prfm.rfm_needed(0)
+        assert prfm.bank_counter(0) == 0
+
+
+class TestStorage:
+    def test_one_counter_per_bank(self):
+        prfm = PRFM(nrh=1024, num_banks=64)
+        bits = prfm.storage_overhead_bits(num_banks=64, rows_per_bank=131072)
+        assert bits["sram_bits"] == 64 * 11
+        assert "dram_bits" not in bits
+
+    def test_smaller_counters_at_lower_nrh(self):
+        big = PRFM(nrh=1024, num_banks=64).storage_overhead_bits(64, 131072)["sram_bits"]
+        small = PRFM(nrh=32, num_banks=64, rfm_threshold=3).storage_overhead_bits(64, 131072)["sram_bits"]
+        assert small < big

@@ -1,0 +1,58 @@
+"""Tests for the periodic refresh scheduler."""
+
+import pytest
+
+from repro.dram.refresh import RefreshScheduler
+from repro.dram.timing import ddr5_3200an
+
+
+@pytest.fixture
+def scheduler():
+    return RefreshScheduler(num_ranks=2, timing=ddr5_3200an())
+
+
+class TestRefreshScheduler:
+    def test_nothing_pending_initially(self, scheduler):
+        scheduler.tick(0)
+        assert not scheduler.refresh_needed(0)
+        assert scheduler.ranks_needing_refresh() == []
+
+    def test_pending_after_trefi(self, scheduler):
+        trefi = scheduler.timing.tREFI
+        scheduler.tick(trefi)
+        assert scheduler.pending_refreshes(0) == 1
+        assert scheduler.pending_refreshes(1) == 1
+        assert set(scheduler.ranks_needing_refresh()) == {0, 1}
+
+    def test_multiple_intervals_accumulate(self, scheduler):
+        trefi = scheduler.timing.tREFI
+        scheduler.tick(3 * trefi)
+        assert scheduler.pending_refreshes(0) == 3
+
+    def test_urgent_after_postpone_budget(self, scheduler):
+        trefi = scheduler.timing.tREFI
+        scheduler.tick(3 * trefi)
+        assert not scheduler.refresh_urgent(0)
+        scheduler.tick(4 * trefi)
+        assert scheduler.refresh_urgent(0)
+
+    def test_issue_decrements_pending(self, scheduler):
+        trefi = scheduler.timing.tREFI
+        scheduler.tick(2 * trefi)
+        scheduler.refresh_issued(0)
+        assert scheduler.pending_refreshes(0) == 1
+        assert scheduler.total_issued() == 1
+
+    def test_issue_without_pending_raises(self, scheduler):
+        with pytest.raises(RuntimeError):
+            scheduler.refresh_issued(0)
+
+    def test_invalid_rank_count(self):
+        with pytest.raises(ValueError):
+            RefreshScheduler(num_ranks=0, timing=ddr5_3200an())
+
+    def test_tick_is_idempotent_for_same_cycle(self, scheduler):
+        trefi = scheduler.timing.tREFI
+        scheduler.tick(trefi)
+        scheduler.tick(trefi)
+        assert scheduler.pending_refreshes(0) == 1

@@ -1,0 +1,28 @@
+"""Tests for memory request records."""
+
+from repro.controller.request import MemoryRequest, RequestType
+
+
+class TestMemoryRequest:
+    def test_read_write_flags(self):
+        read = MemoryRequest(address=64, request_type=RequestType.READ, core_id=0, arrival_cycle=0)
+        write = MemoryRequest(address=64, request_type=RequestType.WRITE, core_id=0, arrival_cycle=0)
+        assert read.is_read and not read.is_write
+        assert write.is_write and not write.is_read
+
+    def test_request_ids_monotonic(self):
+        a = MemoryRequest(address=0, request_type=RequestType.READ, core_id=0, arrival_cycle=0)
+        b = MemoryRequest(address=0, request_type=RequestType.READ, core_id=0, arrival_cycle=0)
+        assert b.request_id > a.request_id
+
+    def test_latency_none_until_complete(self):
+        request = MemoryRequest(address=0, request_type=RequestType.READ, core_id=0, arrival_cycle=10)
+        assert not request.is_complete
+        assert request.latency() is None
+        request.completion_cycle = 60
+        assert request.is_complete
+        assert request.latency() == 50
+
+    def test_repr_mentions_kind(self):
+        request = MemoryRequest(address=0, request_type=RequestType.WRITE, core_id=2, arrival_cycle=0)
+        assert "WR" in repr(request)

@@ -1,0 +1,89 @@
+"""Tests for the FR-FCFS + Cap scheduler."""
+
+import pytest
+
+from repro.controller.address_mapping import mop_mapping
+from repro.controller.request import MemoryRequest, RequestType
+from repro.controller.scheduler import FrFcfsCapScheduler
+from repro.dram.device import DramDevice
+from repro.dram.organization import DramOrganization
+from repro.dram.timing import ddr5_3200an
+
+
+ORG = DramOrganization(ranks=1, bankgroups=2, banks_per_group=2, rows=256, columns=32)
+
+
+def make_request(bank_id: int, row: int, arrival: int = 0) -> MemoryRequest:
+    request = MemoryRequest(
+        address=0, request_type=RequestType.READ, core_id=0, arrival_cycle=arrival
+    )
+    mapping = mop_mapping(ORG)
+    request.dram = mapping.decode(0).__class__(
+        channel=0, rank=0, bankgroup=bank_id // 2, bank=bank_id % 2, row=row, column=0
+    )
+    request.bank_id = bank_id
+    return request
+
+
+@pytest.fixture
+def device():
+    return DramDevice(ORG, ddr5_3200an())
+
+
+class TestChoose:
+    def test_empty_queue(self, device):
+        scheduler = FrFcfsCapScheduler()
+        assert scheduler.choose([], device) is None
+
+    def test_prefers_row_hit_over_older_conflict(self, device):
+        scheduler = FrFcfsCapScheduler()
+        device.activate(0, 5, 0)
+        older_conflict = make_request(0, 9)
+        younger_hit = make_request(0, 5)
+        chosen = scheduler.choose([older_conflict, younger_hit], device)
+        assert chosen is younger_hit
+
+    def test_fcfs_when_no_hits(self, device):
+        scheduler = FrFcfsCapScheduler()
+        first = make_request(0, 5)
+        second = make_request(1, 6)
+        assert scheduler.choose([second, first], device) is first
+
+    def test_cap_limits_reordering(self, device):
+        scheduler = FrFcfsCapScheduler(cap=2)
+        device.activate(0, 5, 0)
+        older_conflict = make_request(0, 9)
+        hit = make_request(0, 5)
+        # Two hits already bypassed the conflict: the cap is exhausted.
+        scheduler.on_scheduled(make_request(0, 5), was_row_hit=True)
+        scheduler.on_scheduled(make_request(0, 5), was_row_hit=True)
+        assert scheduler.cap_reached(0)
+        chosen = scheduler.choose([older_conflict, hit], device)
+        assert chosen is older_conflict
+
+    def test_conflict_resets_streak(self, device):
+        scheduler = FrFcfsCapScheduler(cap=2)
+        scheduler.on_scheduled(make_request(0, 5), was_row_hit=True)
+        scheduler.on_scheduled(make_request(0, 5), was_row_hit=True)
+        scheduler.on_scheduled(make_request(0, 9), was_row_hit=False)
+        assert scheduler.hit_streak(0) == 0
+        assert not scheduler.cap_reached(0)
+
+    def test_hit_in_other_bank_not_blocked_by_cap(self, device):
+        scheduler = FrFcfsCapScheduler(cap=1)
+        device.activate(1, 7, 0)
+        scheduler.on_scheduled(make_request(0, 5), was_row_hit=True)
+        older_other_bank = make_request(0, 9)
+        hit = make_request(1, 7)
+        # The older request targets a different bank, so the hit proceeds.
+        assert scheduler.choose([older_other_bank, hit], device) is hit
+
+    def test_invalid_cap(self):
+        with pytest.raises(ValueError):
+            FrFcfsCapScheduler(cap=0)
+
+    def test_reset(self):
+        scheduler = FrFcfsCapScheduler(cap=1)
+        scheduler.on_scheduled(make_request(0, 5), was_row_hit=True)
+        scheduler.reset()
+        assert scheduler.hit_streak(0) == 0

@@ -1,0 +1,166 @@
+"""Tests for the wave-attack security analysis (§5, §8)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.security import (
+    DEFAULT_PARAMETERS,
+    SecurityParameters,
+    att_required_entries,
+    chronus_max_activations,
+    chronus_secure_backoff_threshold,
+    minimum_secure_nrh_prac,
+    prac_max_activations,
+    prac_security_sweep,
+    prfm_max_activations,
+    prfm_security_sweep,
+    secure_prac_backoff_threshold,
+    secure_prfm_threshold,
+)
+
+
+class TestParameters:
+    def test_normal_traffic_activations(self):
+        params = DEFAULT_PARAMETERS
+        assert params.normal_traffic_activations == int(180 // 52)
+        assert params.normal_traffic_activations_chronus == int(180 // 47)
+
+    def test_custom_parameters(self):
+        params = SecurityParameters(taboact_ns=360.0, trc_prac_ns=60.0)
+        assert params.normal_traffic_activations == 6
+
+
+class TestPrfmAnalysis:
+    def test_larger_threshold_allows_more_activations(self):
+        low = prfm_max_activations(4, 8192)
+        high = prfm_max_activations(64, 8192)
+        assert high > low
+
+    def test_very_aggressive_threshold_bounds_attack_tightly(self):
+        assert prfm_max_activations(2, 65536) < 32
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            prfm_max_activations(0, 100)
+        with pytest.raises(ValueError):
+            prfm_max_activations(4, 0)
+
+    def test_sweep_shape(self):
+        sweep = prfm_security_sweep([2, 8], [1024, 4096])
+        assert set(sweep.keys()) == {2, 8}
+        assert set(sweep[2].keys()) == {1024, 4096}
+
+    def test_paper_claim_low_nrh_needs_threshold_below_four(self):
+        """For N_RH = 32 only RFMth < 4 keeps the attack below threshold."""
+        assert secure_prfm_threshold(32) < 4
+
+    def test_secure_threshold_monotone_in_nrh(self):
+        assert secure_prfm_threshold(1024) >= secure_prfm_threshold(128) >= secure_prfm_threshold(32)
+
+
+class TestPracAnalysis:
+    def test_more_rfms_per_backoff_is_more_secure(self):
+        """Worst case over starting row-set sizes: PRAC-4 bounds the attack
+        more tightly than PRAC-1."""
+        row_sets = (2048, 8192, 65536)
+        prac1 = max(prac_max_activations(1, 1, r1) for r1 in row_sets)
+        prac4 = max(prac_max_activations(1, 4, r1) for r1 in row_sets)
+        assert prac4 <= prac1
+
+    def test_higher_backoff_threshold_allows_more_activations(self):
+        low = prac_max_activations(1, 4, 8192)
+        high = prac_max_activations(64, 4, 8192)
+        assert high > low
+
+    def test_minimum_secure_nrh_close_to_paper(self):
+        """The paper reports PRAC-4 is secure down to N_RH = 20."""
+        minimum = minimum_secure_nrh_prac(4)
+        assert 16 <= minimum <= 24
+
+    def test_prac1_needs_higher_nrh_than_prac4(self):
+        assert minimum_secure_nrh_prac(1) > minimum_secure_nrh_prac(4)
+
+    def test_sweep_worst_case_over_row_sets(self):
+        sweep = prac_security_sweep([1, 8], [1, 4], [2048, 65536])
+        assert sweep[8][4] >= sweep[1][4]
+
+    def test_secure_nbo_monotone_in_nrh(self):
+        assert (
+            secure_prac_backoff_threshold(1024, 4)
+            >= secure_prac_backoff_threshold(128, 4)
+            >= secure_prac_backoff_threshold(20, 4)
+        )
+
+    def test_insecure_configuration_raises(self):
+        with pytest.raises(ValueError):
+            secure_prac_backoff_threshold(4, 1)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            prac_max_activations(0, 4, 100)
+        with pytest.raises(ValueError):
+            prac_max_activations(1, 0, 100)
+
+
+class TestChronusAnalysis:
+    def test_closed_form_bound(self):
+        anormal = DEFAULT_PARAMETERS.normal_traffic_activations_chronus
+        assert chronus_max_activations(16) == 16 + anormal
+
+    def test_secure_threshold_at_nrh_20_matches_paper(self):
+        """§11 configures Chronus with NBO = 16 at N_RH = 20."""
+        assert chronus_secure_backoff_threshold(20) == 16
+
+    def test_secure_threshold_capped_at_counter_range(self):
+        assert chronus_secure_backoff_threshold(100_000) == 256
+
+    def test_bound_below_nrh_for_secure_threshold(self):
+        for nrh in (20, 32, 64, 128, 1024):
+            nbo = chronus_secure_backoff_threshold(nrh)
+            assert chronus_max_activations(nbo) < nrh
+
+    def test_unconfigurable_threshold_raises(self):
+        with pytest.raises(ValueError):
+            chronus_secure_backoff_threshold(3)
+
+    def test_att_sizing(self):
+        assert att_required_entries() == DEFAULT_PARAMETERS.normal_traffic_activations_chronus + 1
+        assert att_required_entries(prac_timings=True) == (
+            DEFAULT_PARAMETERS.normal_traffic_activations + 1
+        )
+
+
+class TestCrossMechanismClaims:
+    def test_chronus_tolerates_lower_nrh_than_prac(self):
+        """Chronus stays secure at thresholds where PRAC-1 cannot."""
+        nrh = 32
+        chronus_secure_backoff_threshold(nrh)  # does not raise
+        with pytest.raises(ValueError):
+            secure_prac_backoff_threshold(nrh, 1)
+
+    def test_chronus_threshold_far_larger_than_prac_at_low_nrh(self):
+        nrh = 20
+        chronus_nbo = chronus_secure_backoff_threshold(nrh)
+        prac_nbo = secure_prac_backoff_threshold(nrh, 4)
+        assert chronus_nbo > 2 * prac_nbo
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    nbo=st.integers(min_value=1, max_value=64),
+    nref=st.sampled_from([1, 2, 4]),
+    rows=st.sampled_from([2048, 8192, 65536]),
+)
+def test_prac_attack_count_at_least_initialisation(nbo, nref, rows):
+    result = prac_max_activations(nbo, nref, rows)
+    assert result >= nbo - 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    threshold=st.integers(min_value=2, max_value=256),
+    rows=st.sampled_from([2048, 8192, 65536]),
+)
+def test_prfm_attack_count_positive_and_bounded_by_window(threshold, rows):
+    result = prfm_max_activations(threshold, rows)
+    assert 1 <= result <= DEFAULT_PARAMETERS.trefw_ns / DEFAULT_PARAMETERS.trc_ns

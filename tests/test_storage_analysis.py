@@ -1,0 +1,76 @@
+"""Tests for the storage-overhead models (Fig. 11 / Fig. 13)."""
+
+import pytest
+
+from repro.analysis.storage import (
+    DEFAULT_NRH_VALUES,
+    FIG11_MECHANISMS,
+    FIG13_MECHANISMS,
+    storage_overhead_bytes,
+    storage_overhead_table,
+)
+
+
+class TestStorageOverheads:
+    def test_chronus_equals_prac_dram_storage(self):
+        """Fig. 11: Chronus and PRAC store the same per-row counters in DRAM."""
+        for nrh in (1024, 64, 20):
+            chronus = storage_overhead_bytes("Chronus", nrh)
+            prac = storage_overhead_bytes("PRAC-4", nrh)
+            assert chronus.dram_bytes == prac.dram_bytes
+            assert chronus.cpu_bytes == prac.cpu_bytes == 0
+
+    def test_prfm_is_smallest_and_in_cpu(self):
+        for nrh in (1024, 20):
+            prfm = storage_overhead_bytes("PRFM", nrh)
+            others = [storage_overhead_bytes(m, nrh) for m in ("Chronus", "Graphene", "Hydra")]
+            assert all(prfm.total_bytes < other.total_bytes for other in others)
+            assert prfm.dram_bytes == 0
+
+    def test_prfm_matches_paper_annotations(self):
+        """Fig. 11 annotates PRFM at 88 B (N_RH = 1K) down to 48 B (N_RH = 20)."""
+        assert storage_overhead_bytes("PRFM", 1024).total_bytes == 88
+        assert storage_overhead_bytes("PRFM", 20).total_bytes == 48
+
+    def test_chronus_storage_shrinks_by_about_half_from_1k_to_20(self):
+        """The paper reports a 45.5% reduction (11-bit to 6-bit counters)."""
+        at_1k = storage_overhead_bytes("Chronus", 1024).dram_bytes
+        at_20 = storage_overhead_bytes("Chronus", 20).dram_bytes
+        reduction = 1.0 - at_20 / at_1k
+        assert reduction == pytest.approx(0.455, abs=0.02)
+
+    def test_graphene_storage_explodes_at_low_nrh(self):
+        """The paper reports a ~50x growth from N_RH = 1K to 20."""
+        growth = (
+            storage_overhead_bytes("Graphene", 20).cpu_bytes
+            / storage_overhead_bytes("Graphene", 1024).cpu_bytes
+        )
+        assert 30 < growth < 80
+
+    def test_abacus_smaller_than_graphene(self):
+        """Fig. 13: ABACuS needs far less CPU storage than Graphene."""
+        for nrh in (1024, 20):
+            abacus = storage_overhead_bytes("ABACuS", nrh)
+            graphene = storage_overhead_bytes("Graphene", nrh)
+            assert abacus.cpu_bytes * 5 < graphene.cpu_bytes
+
+    def test_abacus_grows_as_nrh_shrinks(self):
+        assert (
+            storage_overhead_bytes("ABACuS", 20).cpu_bytes
+            > storage_overhead_bytes("ABACuS", 1024).cpu_bytes * 10
+        )
+
+    def test_hydra_splits_between_dram_and_cpu(self):
+        hydra = storage_overhead_bytes("Hydra", 128)
+        assert hydra.dram_bytes > 0
+        assert hydra.cpu_bytes > 0
+
+    def test_table_covers_all_requested_points(self):
+        table = storage_overhead_table(FIG11_MECHANISMS, DEFAULT_NRH_VALUES)
+        assert len(table) == len(FIG11_MECHANISMS) * len(DEFAULT_NRH_VALUES)
+        fig13 = storage_overhead_table(FIG13_MECHANISMS, (1024, 20))
+        assert {entry.mechanism for entry in fig13} == set(FIG13_MECHANISMS)
+
+    def test_total_mib_property(self):
+        entry = storage_overhead_bytes("Chronus", 1024)
+        assert entry.total_mib == pytest.approx(entry.total_bytes / (1024 * 1024))

@@ -1,0 +1,136 @@
+"""Tests for DDR5 timing parameters (Table 1 of the paper)."""
+
+import pytest
+
+from repro.dram.timing import (
+    DDR5_3200_TCK_NS,
+    TimingParams,
+    ddr5_3200an,
+    ns_to_cycles,
+    timing_table_rows,
+)
+
+
+class TestNsToCycles:
+    def test_exact_multiple(self):
+        assert ns_to_cycles(5.0, 0.625) == 8
+
+    def test_rounds_up(self):
+        assert ns_to_cycles(47.0, 0.625) == 76
+
+    def test_zero(self):
+        assert ns_to_cycles(0.0, 0.625) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ns_to_cycles(-1.0, 0.625)
+
+    def test_half_cycle_rounds_up(self):
+        assert ns_to_cycles(0.3, 0.625) == 1
+
+
+class TestBaselinePreset:
+    def test_clock_period(self):
+        timing = ddr5_3200an()
+        assert timing.tck_ns == DDR5_3200_TCK_NS
+
+    def test_not_prac(self):
+        assert ddr5_3200an().prac_enabled is False
+
+    def test_table1_baseline_values_ns(self):
+        timing = ddr5_3200an()
+        assert timing.ns(timing.tRAS) == pytest.approx(32.0, abs=timing.tck_ns)
+        assert timing.ns(timing.tRP) == pytest.approx(15.0, abs=timing.tck_ns)
+        assert timing.ns(timing.tRC) == pytest.approx(47.0, abs=timing.tck_ns)
+        assert timing.ns(timing.tRTP) == pytest.approx(7.5, abs=timing.tck_ns)
+        assert timing.ns(timing.tWR) == pytest.approx(30.0, abs=timing.tck_ns)
+
+    def test_refresh_interval_much_smaller_than_window(self):
+        timing = ddr5_3200an()
+        assert timing.tREFI * 100 < timing.tREFW
+
+    def test_as_dict_contains_all_parameters(self):
+        d = ddr5_3200an().as_dict()
+        for key in ("tRAS", "tRP", "tRC", "tRCD", "tRTP", "tWR", "tRFM", "tABOACT"):
+            assert key in d
+            assert d[key] >= 0
+
+
+class TestPracPreset:
+    def test_prac_flag(self):
+        assert ddr5_3200an(prac=True).prac_enabled is True
+
+    def test_trp_and_trc_increase(self):
+        base = ddr5_3200an()
+        prac = ddr5_3200an(prac=True)
+        assert prac.tRP > base.tRP
+        assert prac.tRC > base.tRC
+
+    def test_tras_trtp_twr_decrease(self):
+        base = ddr5_3200an()
+        prac = ddr5_3200an(prac=True)
+        assert prac.tRAS < base.tRAS
+        assert prac.tRTP < base.tRTP
+        assert prac.tWR < base.tWR
+
+    def test_table1_prac_values_ns(self):
+        prac = ddr5_3200an(prac=True)
+        assert prac.ns(prac.tRAS) == pytest.approx(16.0, abs=prac.tck_ns)
+        assert prac.ns(prac.tRP) == pytest.approx(36.0, abs=prac.tck_ns)
+        assert prac.ns(prac.tRC) == pytest.approx(52.0, abs=prac.tck_ns)
+
+    def test_column_parameters_unchanged(self):
+        base = ddr5_3200an()
+        prac = ddr5_3200an(prac=True)
+        assert prac.tCL == base.tCL
+        assert prac.tRCD == base.tRCD
+        assert prac.tRFM == base.tRFM
+
+
+class TestLegacyPracPreset:
+    def test_legacy_keeps_old_tras(self):
+        legacy = ddr5_3200an(prac=True, legacy_prac_timings=True)
+        base = ddr5_3200an()
+        assert legacy.tRAS == base.tRAS
+        assert legacy.tRTP == base.tRTP
+        assert legacy.tWR == base.tWR
+
+    def test_legacy_still_increases_trp_trc(self):
+        legacy = ddr5_3200an(prac=True, legacy_prac_timings=True)
+        base = ddr5_3200an()
+        assert legacy.tRP > base.tRP
+        assert legacy.tRC > base.tRC
+
+    def test_legacy_requires_prac(self):
+        with pytest.raises(ValueError):
+            ddr5_3200an(prac=False, legacy_prac_timings=True)
+
+    def test_legacy_is_slower_than_fixed_prac(self):
+        legacy = ddr5_3200an(prac=True, legacy_prac_timings=True)
+        fixed = ddr5_3200an(prac=True)
+        # The erratum fix reduces tRAS/tRTP/tWR, so the fixed preset is
+        # never slower than the legacy one on any parameter.
+        assert legacy.tRAS >= fixed.tRAS
+        assert legacy.tWR >= fixed.tWR
+
+
+class TestOverridesAndTable:
+    def test_with_overrides(self):
+        timing = ddr5_3200an().with_overrides(tRC=100)
+        assert timing.tRC == 100
+        assert timing.tRP == ddr5_3200an().tRP
+
+    def test_timing_table_rows_match_paper(self):
+        rows = {row["parameter"]: row for row in timing_table_rows()}
+        assert rows["tRAS"]["no_prac_ns"] == 32.0
+        assert rows["tRAS"]["prac_ns"] == 16.0
+        assert rows["tRP"]["no_prac_ns"] == 15.0
+        assert rows["tRP"]["prac_ns"] == 36.0
+        assert rows["tRC"]["no_prac_ns"] == 47.0
+        assert rows["tRC"]["prac_ns"] == 52.0
+        assert rows["tRTP"]["prac_ns"] == 5.0
+        assert rows["tWR"]["prac_ns"] == 10.0
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            ddr5_3200an().tRC = 1

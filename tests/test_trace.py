@@ -1,0 +1,66 @@
+"""Tests for the trace container and its text serialisation."""
+
+import pytest
+
+from repro.cpu.trace import Trace, TraceEntry
+
+
+def simple_trace():
+    return Trace(
+        "demo",
+        [
+            TraceEntry(gap_instructions=10, address=0x1000, is_write=False),
+            TraceEntry(gap_instructions=0, address=0x2040, is_write=True),
+            TraceEntry(gap_instructions=5, address=0x1000, is_write=False),
+        ],
+    )
+
+
+class TestTrace:
+    def test_len_and_iteration(self):
+        trace = simple_trace()
+        assert len(trace) == 3
+        assert [entry.address for entry in trace] == [0x1000, 0x2040, 0x1000]
+        assert trace[1].is_write
+
+    def test_total_instructions(self):
+        assert simple_trace().total_instructions == 10 + 1 + 0 + 1 + 5 + 1
+
+    def test_memory_accesses_and_write_fraction(self):
+        trace = simple_trace()
+        assert trace.memory_accesses == 3
+        assert trace.write_fraction == pytest.approx(1 / 3)
+
+    def test_apki(self):
+        trace = simple_trace()
+        assert trace.accesses_per_kilo_instruction() == pytest.approx(
+            1000 * 3 / trace.total_instructions
+        )
+
+    def test_truncated(self):
+        trace = simple_trace().truncated(2)
+        assert len(trace) == 2
+        with pytest.raises(ValueError):
+            simple_trace().truncated(0)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            Trace("empty", [])
+
+    def test_save_and_load_roundtrip(self, tmp_path):
+        trace = simple_trace()
+        path = tmp_path / "demo.trace"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.name == "demo"
+        assert len(loaded) == len(trace)
+        for original, reloaded in zip(trace, loaded):
+            assert original == reloaded
+
+    def test_load_with_custom_name_and_comments(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("# comment\n5 0x40 R\n\n0 0x80 W\n")
+        trace = Trace.load(path, name="renamed")
+        assert trace.name == "renamed"
+        assert len(trace) == 2
+        assert trace[1].is_write

@@ -1,0 +1,149 @@
+"""Tests for synthetic workloads, mixes and attacker traces."""
+
+import pytest
+
+from repro.controller.address_mapping import mop_mapping
+from repro.dram.organization import PAPER_ORGANIZATION
+from repro.workloads.attacker import (
+    performance_attack_trace,
+    wave_attack_addresses,
+    wave_attack_trace,
+)
+from repro.workloads.mixes import MIX_TYPES, build_mix_traces, workload_mixes
+from repro.workloads.synthetic import (
+    APP_PROFILES,
+    app_names,
+    apps_by_category,
+    generate_trace,
+    profile_by_name,
+)
+
+
+class TestProfiles:
+    def test_57_applications(self):
+        assert len(APP_PROFILES) == 57
+
+    def test_names_unique(self):
+        names = [profile.name for profile in APP_PROFILES]
+        assert len(names) == len(set(names))
+
+    def test_three_intensity_classes_populated(self):
+        categories = apps_by_category()
+        assert set(categories) == {"H", "M", "L"}
+        assert all(len(apps) >= 15 for apps in categories.values())
+
+    def test_paper_fig7_names_present(self):
+        for name in ("429.mcf", "470.lbm", "519.lbm", "tpch2", "jp2_encode", "507.cactuBSSN"):
+            assert profile_by_name(name).category == "H"
+
+    def test_high_intensity_more_memory_bound_than_low(self):
+        h_mean = sum(p.apki for p in APP_PROFILES if p.category == "H") / len(app_names("H"))
+        l_mean = sum(p.apki for p in APP_PROFILES if p.category == "L") / len(app_names("L"))
+        assert h_mean > 3 * l_mean
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(KeyError):
+            profile_by_name("notabenchmark")
+
+    def test_invalid_category(self):
+        with pytest.raises(ValueError):
+            app_names("X")
+
+
+class TestTraceGeneration:
+    def test_deterministic(self):
+        first = generate_trace("429.mcf", num_accesses=500, seed=3)
+        second = generate_trace("429.mcf", num_accesses=500, seed=3)
+        assert [e.address for e in first] == [e.address for e in second]
+
+    def test_seed_changes_trace(self):
+        first = generate_trace("429.mcf", num_accesses=500, seed=3)
+        second = generate_trace("429.mcf", num_accesses=500, seed=4)
+        assert [e.address for e in first] != [e.address for e in second]
+
+    def test_base_address_offsets_all_accesses(self):
+        base = 1 << 30
+        trace = generate_trace("470.lbm", num_accesses=100, seed=0, base_address=base)
+        assert all(entry.address >= base for entry in trace)
+
+    def test_apki_roughly_matches_profile(self):
+        profile = profile_by_name("462.libquantum")
+        trace = generate_trace(profile, num_accesses=5000, seed=1)
+        assert trace.accesses_per_kilo_instruction() == pytest.approx(profile.apki, rel=0.4)
+
+    def test_write_fraction_roughly_matches_profile(self):
+        profile = profile_by_name("470.lbm")
+        trace = generate_trace(profile, num_accesses=5000, seed=1)
+        assert trace.write_fraction == pytest.approx(profile.write_fraction, abs=0.1)
+
+    def test_invalid_access_count(self):
+        with pytest.raises(ValueError):
+            generate_trace("429.mcf", num_accesses=0)
+
+
+class TestMixes:
+    def test_sixty_mixes_by_default(self):
+        mixes = workload_mixes()
+        assert len(mixes) == 60
+        assert {mix.mix_type for mix in mixes} == set(MIX_TYPES)
+
+    def test_mix_composition_matches_type(self):
+        for mix in workload_mixes(mixes_per_type=2):
+            for app, letter in zip(mix.applications, mix.mix_type):
+                assert profile_by_name(app).category == letter
+
+    def test_deterministic_selection(self):
+        assert workload_mixes(seed=1) == workload_mixes(seed=1)
+        assert workload_mixes(seed=1) != workload_mixes(seed=2)
+
+    def test_build_mix_traces_disjoint_regions(self):
+        mix = workload_mixes()[0]
+        traces = build_mix_traces(mix, accesses_per_core=200)
+        assert len(traces) == 4
+        region = PAPER_ORGANIZATION.capacity_bytes // 4
+        for slot, trace in enumerate(traces):
+            assert all(slot * region <= e.address < (slot + 1) * region for e in trace)
+
+    def test_build_mix_from_plain_list(self):
+        traces = build_mix_traces(["429.mcf", "401.bzip2"], accesses_per_core=50)
+        assert [t.name for t in traces] == ["429.mcf", "401.bzip2"]
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ValueError):
+            build_mix_traces([])
+
+
+class TestAttackerTraces:
+    def test_wave_attack_addresses_target_one_bank(self):
+        mapping = mop_mapping(PAPER_ORGANIZATION)
+        addresses = wave_attack_addresses(16, bank_index=5)
+        banks = {mapping.decode(a).flat_bank(PAPER_ORGANIZATION) for a in addresses}
+        assert banks == {5}
+        rows = {mapping.decode(a).row for a in addresses}
+        assert len(rows) == 16
+
+    def test_wave_attack_trace_round_structure(self):
+        trace = wave_attack_trace(num_rows=8, rounds=3)
+        assert len(trace) == 8 * 3 * 2
+        assert all(entry.gap_instructions == 0 for entry in trace)
+
+    def test_performance_attack_targets_requested_banks(self):
+        mapping = mop_mapping(PAPER_ORGANIZATION)
+        trace = performance_attack_trace(num_banks=4, rows_per_bank=8, num_accesses=256)
+        banks = {mapping.decode(e.address).flat_bank(PAPER_ORGANIZATION) for e in trace}
+        assert len(banks) == 4
+        rows = {mapping.decode(e.address).row for e in trace}
+        assert len(rows) == 8
+
+    def test_performance_attack_no_compute_gaps(self):
+        trace = performance_attack_trace(num_accesses=64)
+        assert all(entry.gap_instructions == 0 for entry in trace)
+        assert len(trace) == 64
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            wave_attack_addresses(0)
+        with pytest.raises(ValueError):
+            performance_attack_trace(num_banks=0)
+        with pytest.raises(ValueError):
+            wave_attack_trace(rounds=0)
