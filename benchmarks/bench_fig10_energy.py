@@ -2,10 +2,17 @@
 
 from repro.experiments import figures
 
-from conftest import BENCH_ACCESSES, BENCH_MIXES, BENCH_NRH_VALUES, print_figure, run_once
+from conftest import (
+    BENCH_ACCESSES,
+    BENCH_MIXES,
+    BENCH_NRH_VALUES,
+    print_cache_stats,
+    print_figure,
+    run_once,
+)
 
 
-def test_fig10_dram_energy(benchmark):
+def test_fig10_dram_energy(benchmark, sweep_engine):
     rows = run_once(
         benchmark,
         figures.fig10_data,
@@ -13,12 +20,14 @@ def test_fig10_dram_energy(benchmark):
         mechanisms=("Chronus", "PRAC-4", "Graphene", "PRFM", "PARA"),
         num_mixes=BENCH_MIXES,
         accesses_per_core=BENCH_ACCESSES,
+        engine=sweep_engine,
     )
     print_figure(
         "Fig. 10: DRAM energy normalized to no mitigation, four-core mixes",
         rows,
         columns=("mechanism", "nrh", "normalized_energy"),
     )
+    print_cache_stats(sweep_engine)
     by_key = {(r["mechanism"], r["nrh"]): r["normalized_energy"] for r in rows}
     # Chronus costs some extra energy (counter-subarray update) but less than
     # PRAC, whose longer timings and frequent preventive refreshes dominate.

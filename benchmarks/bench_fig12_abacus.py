@@ -2,22 +2,31 @@
 
 from repro.experiments import figures
 
-from conftest import BENCH_ACCESSES, BENCH_MIXES, BENCH_NRH_VALUES, print_figure, run_once
+from conftest import (
+    BENCH_ACCESSES,
+    BENCH_MIXES,
+    BENCH_NRH_VALUES,
+    print_cache_stats,
+    print_figure,
+    run_once,
+)
 
 
-def test_fig12_chronus_vs_abacus(benchmark):
+def test_fig12_chronus_vs_abacus(benchmark, sweep_engine):
     rows = run_once(
         benchmark,
         figures.fig12_data,
         nrh_values=BENCH_NRH_VALUES,
         num_mixes=BENCH_MIXES,
         accesses_per_core=BENCH_ACCESSES,
+        engine=sweep_engine,
     )
     print_figure(
         "Fig. 12: Chronus vs ABACuS (ABACuS address mapping)",
         rows,
         columns=("mechanism", "nrh", "normalized_ws", "performance_overhead"),
     )
+    print_cache_stats(sweep_engine)
     by_key = {(r["mechanism"], r["nrh"]): r for r in rows}
     for nrh in BENCH_NRH_VALUES:
         assert by_key[("Chronus", nrh)]["normalized_ws"] >= by_key[("ABACuS", nrh)]["normalized_ws"] - 0.02

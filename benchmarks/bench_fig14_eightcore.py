@@ -2,22 +2,24 @@
 
 from repro.experiments import figures
 
-from conftest import print_figure, run_once
+from conftest import print_cache_stats, print_figure, run_once
 
 
-def test_fig14_eightcore_performance(benchmark):
+def test_fig14_eightcore_performance(benchmark, sweep_engine):
     rows = run_once(
         benchmark,
         figures.fig14_data,
         nrh_values=(1024, 20),
         applications=("523.xalancbmk", "519.lbm"),
         accesses_per_core=800,
+        engine=sweep_engine,
     )
     print_figure(
         "Fig. 14: PRAC-4 on eight-core homogeneous workloads (large LLC)",
         rows,
         columns=("mechanism", "nrh", "normalized_ws", "performance_overhead"),
     )
+    print_cache_stats(sweep_engine)
     by_nrh = {r["nrh"]: r for r in rows}
     # With the large LLC, PRAC's overhead at N_RH = 1K is small (paper: 2.4%),
     # and it grows dramatically at N_RH = 20 (paper: 78.8%).

@@ -2,22 +2,24 @@
 
 from repro.experiments import figures
 
-from conftest import print_figure, run_once
+from conftest import print_cache_stats, print_figure, run_once
 
 
-def test_fig15_eightcore_energy(benchmark):
+def test_fig15_eightcore_energy(benchmark, sweep_engine):
     rows = run_once(
         benchmark,
         figures.fig15_data,
         nrh_values=(1024, 20),
         applications=("523.xalancbmk", "519.lbm"),
         accesses_per_core=800,
+        engine=sweep_engine,
     )
     print_figure(
         "Fig. 15: PRAC-4 DRAM energy, eight-core homogeneous workloads",
         rows,
         columns=("mechanism", "nrh", "normalized_energy"),
     )
+    print_cache_stats(sweep_engine)
     by_nrh = {r["nrh"]: r for r in rows}
     # Energy overhead is non-negligible at N_RH = 1K and grows at N_RH = 20.
     assert by_nrh[1024]["normalized_energy"] >= 1.0

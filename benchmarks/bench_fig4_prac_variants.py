@@ -2,10 +2,17 @@
 
 from repro.experiments import figures
 
-from conftest import BENCH_ACCESSES, BENCH_MIXES, BENCH_NRH_VALUES, print_figure, run_once
+from conftest import (
+    BENCH_ACCESSES,
+    BENCH_MIXES,
+    BENCH_NRH_VALUES,
+    print_cache_stats,
+    print_figure,
+    run_once,
+)
 
 
-def test_fig4_prac_and_rfm_variants(benchmark):
+def test_fig4_prac_and_rfm_variants(benchmark, sweep_engine):
     rows = run_once(
         benchmark,
         figures.fig4_data,
@@ -13,12 +20,14 @@ def test_fig4_prac_and_rfm_variants(benchmark):
         mechanisms=("PRAC-4", "PRAC-1", "PRAC+PRFM", "PRFM"),
         num_mixes=BENCH_MIXES,
         accesses_per_core=BENCH_ACCESSES,
+        engine=sweep_engine,
     )
     print_figure(
         "Fig. 4: normalized weighted speedup of PRAC / RFM configurations",
         rows,
         columns=("mechanism", "nrh", "normalized_ws", "performance_overhead", "is_secure"),
     )
+    print_cache_stats(sweep_engine)
     by_key = {(r["mechanism"], r["nrh"]): r for r in rows}
     # Overheads grow as N_RH shrinks.
     assert (

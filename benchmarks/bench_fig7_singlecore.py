@@ -2,14 +2,14 @@
 
 from repro.experiments import figures
 
-from conftest import BENCH_ACCESSES, print_figure, run_once
+from conftest import BENCH_ACCESSES, print_cache_stats, print_figure, run_once
 
 
 APPLICATIONS = ("549.fotonik3d", "429.mcf", "462.libquantum", "483.xalancbmk")
 MECHANISMS = ("Chronus", "Chronus-PB", "PRAC-4", "Graphene", "Hydra", "PARA")
 
 
-def test_fig7_single_core(benchmark):
+def test_fig7_single_core(benchmark, sweep_engine):
     rows = run_once(
         benchmark,
         figures.fig7_data,
@@ -17,12 +17,14 @@ def test_fig7_single_core(benchmark):
         mechanisms=MECHANISMS,
         applications=APPLICATIONS,
         accesses_per_core=BENCH_ACCESSES,
+        engine=sweep_engine,
     )
     print_figure(
         "Fig. 7: single-core normalized speedup",
         rows,
         columns=("nrh", "mechanism", "application", "normalized_speedup"),
     )
+    print_cache_stats(sweep_engine)
 
     def mean(mechanism, nrh):
         values = [

@@ -2,10 +2,17 @@
 
 from repro.experiments import figures
 
-from conftest import BENCH_ACCESSES, BENCH_MIXES, BENCH_NRH_VALUES, print_figure, run_once
+from conftest import (
+    BENCH_ACCESSES,
+    BENCH_MIXES,
+    BENCH_NRH_VALUES,
+    print_cache_stats,
+    print_figure,
+    run_once,
+)
 
 
-def test_fig8_multicore_performance(benchmark):
+def test_fig8_multicore_performance(benchmark, sweep_engine):
     rows = run_once(
         benchmark,
         figures.fig8_data,
@@ -13,6 +20,7 @@ def test_fig8_multicore_performance(benchmark):
         mechanisms=("Chronus", "Chronus-PB", "PRAC-4", "Graphene", "Hydra", "PRFM", "PARA"),
         num_mixes=BENCH_MIXES,
         accesses_per_core=BENCH_ACCESSES,
+        engine=sweep_engine,
     )
     print_figure(
         "Fig. 8: normalized weighted speedup, four-core mixes",
@@ -20,6 +28,7 @@ def test_fig8_multicore_performance(benchmark):
         columns=("mechanism", "nrh", "normalized_ws", "performance_overhead",
                  "backoffs_per_mcycle", "is_secure"),
     )
+    print_cache_stats(sweep_engine)
     by_key = {(r["mechanism"], r["nrh"]): r for r in rows}
     for nrh in BENCH_NRH_VALUES:
         # Chronus outperforms PRAC-4 at every evaluated threshold.

@@ -2,10 +2,10 @@
 
 from repro.experiments import figures
 
-from conftest import BENCH_ACCESSES, print_figure, run_once
+from conftest import BENCH_ACCESSES, print_cache_stats, print_figure, run_once
 
 
-def test_fig9_memory_intensity(benchmark):
+def test_fig9_memory_intensity(benchmark, sweep_engine):
     rows = run_once(
         benchmark,
         figures.fig9_data,
@@ -13,12 +13,14 @@ def test_fig9_memory_intensity(benchmark):
         mechanisms=("Chronus", "PRAC-4", "PRFM"),
         mixes_per_type=1,
         accesses_per_core=BENCH_ACCESSES,
+        engine=sweep_engine,
     )
     print_figure(
         "Fig. 9: normalized weighted speedup per workload intensity type (N_RH = 32)",
         rows,
         columns=("mix_type", "mechanism", "normalized_ws"),
     )
+    print_cache_stats(sweep_engine)
     by_key = {(r["mix_type"], r["mechanism"]): r["normalized_ws"] for r in rows}
     for mix_type in figures.MIX_TYPES:
         # Chronus is the best mechanism for every intensity class.

@@ -2,7 +2,7 @@
 
 from repro.experiments import figures
 
-from conftest import print_figure, run_once
+from conftest import print_cache_stats, print_figure, run_once
 
 
 def test_sec11_theoretical_bandwidth_bounds(benchmark):
@@ -18,7 +18,7 @@ def test_sec11_theoretical_bandwidth_bounds(benchmark):
     assert by_key[("Chronus", 20)] < 0.4
 
 
-def test_sec11_performance_attack_simulation(benchmark):
+def test_sec11_performance_attack_simulation(benchmark, sweep_engine):
     rows = run_once(
         benchmark,
         figures.sec11_simulation_data,
@@ -27,12 +27,14 @@ def test_sec11_performance_attack_simulation(benchmark):
         num_mixes=1,
         accesses_per_core=1200,
         attack_accesses=6000,
+        engine=sweep_engine,
     )
     print_figure(
         "S11 simulation: benign-core slowdown under a memory performance attack",
         rows,
         columns=("mechanism", "nrh", "mean_performance_loss", "max_slowdown"),
     )
+    print_cache_stats(sweep_engine)
     by_key = {(r["mechanism"], r["nrh"]): r for r in rows}
     # Chronus bounds the damage better than PRAC at the future threshold.
     assert (

@@ -2,22 +2,24 @@
 
 from repro.experiments import figures
 
-from conftest import BENCH_ACCESSES, BENCH_MIXES, print_figure, run_once
+from conftest import BENCH_ACCESSES, BENCH_MIXES, print_cache_stats, print_figure, run_once
 
 
-def test_table4_prac_timing_fix(benchmark):
+def test_table4_prac_timing_fix(benchmark, sweep_engine):
     rows = run_once(
         benchmark,
         figures.table4_data,
         nrh_values=(1024, 20),
         num_mixes=BENCH_MIXES,
         accesses_per_core=BENCH_ACCESSES,
+        engine=sweep_engine,
     )
     print_figure(
         "Table 4: PRAC-4 overhead with the old (buggy) vs fixed timings",
         rows,
         columns=("timings", "nrh", "performance_overhead", "normalized_energy"),
     )
+    print_cache_stats(sweep_engine)
     by_key = {(r["timings"], r["nrh"]): r for r in rows}
     # The erratum fix (reduced tRAS/tRTP/tWR) can only help performance.
     assert (

@@ -1,0 +1,190 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+``sweep``
+    Expand a declarative (mechanism x N_RH x mix) sweep into jobs and run it
+    through the :class:`~repro.experiments.sweep.SweepEngine`, printing the
+    aggregated mechanism comparison.  ``--dry-run`` lists the expanded jobs
+    (and whether each is already cached) without simulating anything;
+    ``--workers N`` executes missing jobs across N worker processes.
+
+``cache``
+    Inspect (``cache info``) or wipe (``cache clear``) the on-disk result
+    cache.
+
+``mechanisms``
+    List every mechanism name accepted by ``--mechanisms``.
+
+The on-disk cache location defaults to ``$REPRO_CACHE_DIR`` or
+``.repro-cache``; pass ``--no-cache`` for a purely in-memory run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.factory import MECHANISM_NAMES
+from repro.experiments.cache import ResultCache, default_cache_dir
+from repro.experiments.figures import format_rows
+from repro.experiments.runner import ExperimentRunner, default_mixes
+from repro.experiments.sweep import SweepEngine, default_workers
+from repro.workloads.mixes import MIX_TYPES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Chronus (HPCA 2025) reproduction: sweep engine CLI.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run a (mechanism x N_RH x mix) performance sweep"
+    )
+    sweep.add_argument(
+        "--mechanisms", nargs="+", default=["Chronus", "PRAC-4"],
+        metavar="NAME", help=f"mechanisms to sweep (from: {', '.join(MECHANISM_NAMES)})",
+    )
+    sweep.add_argument(
+        "--nrh", nargs="+", type=int, default=[1024, 128],
+        metavar="N", help="RowHammer thresholds to sweep",
+    )
+    sweep.add_argument(
+        "--num-mixes", type=int, default=2, metavar="N",
+        help="number of four-core workload mixes (paper: 60)",
+    )
+    sweep.add_argument(
+        "--mix-types", nargs="+", default=None, choices=list(MIX_TYPES),
+        help="restrict mixes to these intensity types",
+    )
+    sweep.add_argument(
+        "--accesses", type=int, default=1000, metavar="N",
+        help="memory accesses per core (paper: 100M instructions)",
+    )
+    sweep.add_argument("--seed", type=int, default=0, help="trace-generation seed")
+    sweep.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes (default: $REPRO_SWEEP_WORKERS or serial)",
+    )
+    sweep.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="on-disk result cache (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    sweep.add_argument(
+        "--no-cache", action="store_true",
+        help="keep results in memory only (no on-disk cache)",
+    )
+    sweep.add_argument(
+        "--dry-run", action="store_true",
+        help="list the expanded jobs and their cache status, then exit",
+    )
+
+    cache = subparsers.add_parser("cache", help="inspect or clear the result cache")
+    cache.add_argument("action", choices=["info", "clear"])
+    cache.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="on-disk result cache (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+
+    subparsers.add_parser("mechanisms", help="list the available mechanism names")
+    return parser
+
+
+def _resolve_cache(args: argparse.Namespace) -> ResultCache:
+    if getattr(args, "no_cache", False):
+        return ResultCache(directory=None)
+    directory = args.cache_dir if args.cache_dir is not None else default_cache_dir()
+    return ResultCache(directory=directory)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    mixes = [
+        mix.applications
+        for mix in default_mixes(args.num_mixes, mix_types=args.mix_types)
+    ]
+    if not mixes:
+        print("error: no mixes selected", file=sys.stderr)
+        return 2
+    cache = _resolve_cache(args)
+    workers = default_workers() if args.workers is None else args.workers
+    engine = SweepEngine(cache=cache, workers=workers)
+    runner = ExperimentRunner(
+        accesses_per_core=args.accesses, seed=args.seed, engine=engine
+    )
+    try:
+        spec = runner.sweep_spec(args.mechanisms, args.nrh, mixes)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    jobs = spec.expand()
+
+    if args.dry_run:
+        rows = [
+            {
+                "job": index,
+                "workload": job.workload_name,
+                "mechanism": job.config.mechanism,
+                "nrh": job.config.nrh,
+                "cores": job.config.num_cores,
+                "accesses": job.accesses_per_core,
+                "cached": "yes" if cache.contains(job.key) else "no",
+                "key": job.key[:12],
+            }
+            for index, job in enumerate(jobs)
+        ]
+        print(format_rows(rows))
+        cached = sum(1 for row in rows if row["cached"] == "yes")
+        print(
+            f"\ndry run: {len(jobs)} jobs ({spec.num_points()} sweep points, "
+            f"{cached} cached, {len(jobs) - cached} to simulate, "
+            f"workers={workers}, cache={cache.directory or 'memory-only'})"
+        )
+        return 0
+
+    comparisons = runner.compare(args.mechanisms, args.nrh, mixes)
+    rows = [
+        {
+            "mechanism": c.mechanism,
+            "nrh": c.nrh,
+            "normalized_ws": c.mean_normalized_ws,
+            "performance_overhead": c.mean_performance_overhead,
+            "normalized_energy": c.mean_normalized_energy,
+            "is_secure": c.is_secure,
+        }
+        for c in comparisons
+    ]
+    print(format_rows(rows))
+    print(f"\n{engine.executed_jobs} jobs simulated; {cache.summary()}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = _resolve_cache(args)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} entries from {cache.directory}")
+        return 0
+    print(f"cache directory: {cache.directory}")
+    print(f"entries: {cache.disk_entry_count()}")
+    return 0
+
+
+def _cmd_mechanisms() -> int:
+    for name in MECHANISM_NAMES:
+        print(name)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
+    if args.command == "mechanisms":
+        return _cmd_mechanisms()
+    raise AssertionError(f"unhandled command {args.command!r}")

@@ -1,6 +1,17 @@
-"""Experiment harness: runs the simulations behind every table and figure."""
+"""Experiment harness: sweep engine, result cache, runner and figure data."""
 
-from repro.experiments.runner import ExperimentRunner, MechanismComparison
+from repro.experiments.cache import ResultCache
+from repro.experiments.runner import ExperimentRunner, MechanismComparison, default_mixes
+from repro.experiments.sweep import SimJob, SweepEngine, SweepSpec
 from repro.experiments import figures
 
-__all__ = ["ExperimentRunner", "MechanismComparison", "figures"]
+__all__ = [
+    "ExperimentRunner",
+    "MechanismComparison",
+    "ResultCache",
+    "SimJob",
+    "SweepEngine",
+    "SweepSpec",
+    "default_mixes",
+    "figures",
+]

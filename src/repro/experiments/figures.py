@@ -8,8 +8,13 @@ tests can assert the qualitative claims (who wins, how overheads scale with
 
 All simulation-based experiments take ``accesses_per_core`` and mix-count
 parameters: the paper simulates 100 M instructions per core for 60 mixes on a
-cluster, while the defaults here are sized for a laptop.  EXPERIMENTS.md
+cluster, while the defaults here are sized for a laptop.  docs/EXPERIMENTS.md
 records the budgets used for the committed results.
+
+Every simulation-backed function accepts an optional ``engine`` -- a shared
+:class:`~repro.experiments.sweep.SweepEngine` -- so multiple figures reuse
+one result cache (alone / baseline runs are simulated once for all of them)
+and can execute their sweeps across worker processes.
 """
 
 from __future__ import annotations
@@ -37,12 +42,11 @@ from repro.analysis.storage import (
 from repro.core.decrementer import DecrementerCircuit
 from repro.dram.timing import timing_table_rows
 from repro.experiments.runner import ExperimentRunner, default_mixes
+from repro.experiments.sweep import SweepEngine, attack_job, mechanism_job
 from repro.system.config import appendix_e_system_config, paper_system_config
 from repro.system.metrics import max_slowdown, weighted_speedup
-from repro.system.simulator import simulate
-from repro.workloads.attacker import performance_attack_trace
-from repro.workloads.mixes import MIX_TYPES, build_mix_traces
-from repro.workloads.synthetic import app_names, generate_trace
+from repro.workloads.mixes import MIX_TYPES
+from repro.workloads.synthetic import app_names
 
 
 #: Default RowHammer thresholds swept by the performance figures.
@@ -113,9 +117,12 @@ def fig4_data(
     num_mixes: int = 4,
     accesses_per_core: int = 4000,
     seed: int = 0,
+    engine: Optional[SweepEngine] = None,
 ) -> List[Dict[str, float]]:
     """Fig. 4: normalised weighted speedup of the industry mechanisms."""
-    runner = ExperimentRunner(accesses_per_core=accesses_per_core, seed=seed)
+    runner = ExperimentRunner(
+        accesses_per_core=accesses_per_core, seed=seed, engine=engine
+    )
     mixes = [mix.applications for mix in default_mixes(num_mixes)]
     comparisons = runner.compare(mechanisms, nrh_values, mixes)
     return [
@@ -141,11 +148,14 @@ def fig7_data(
     applications: Optional[Sequence[str]] = None,
     accesses_per_core: int = 4000,
     seed: int = 0,
+    engine: Optional[SweepEngine] = None,
 ) -> List[Dict[str, float]]:
     """Fig. 7: per-application normalised speedup at N_RH = 1K and 32."""
     if applications is None:
         applications = app_names("H")[:6] + app_names("M")[:2] + app_names("L")[:2]
-    runner = ExperimentRunner(accesses_per_core=accesses_per_core, seed=seed)
+    runner = ExperimentRunner(
+        accesses_per_core=accesses_per_core, seed=seed, engine=engine
+    )
     rows: List[Dict[str, float]] = []
     for nrh in nrh_values:
         per_mech = runner.single_core_sweep(mechanisms, nrh, applications)
@@ -172,9 +182,12 @@ def fig8_fig10_data(
     num_mixes: int = 4,
     accesses_per_core: int = 4000,
     seed: int = 0,
+    engine: Optional[SweepEngine] = None,
 ) -> List[Dict[str, float]]:
     """Fig. 8 (performance) and Fig. 10 (energy) share the same sweep."""
-    runner = ExperimentRunner(accesses_per_core=accesses_per_core, seed=seed)
+    runner = ExperimentRunner(
+        accesses_per_core=accesses_per_core, seed=seed, engine=engine
+    )
     mixes = [mix.applications for mix in default_mixes(num_mixes)]
     comparisons = runner.compare(mechanisms, nrh_values, mixes)
     return [
@@ -215,9 +228,12 @@ def fig9_data(
     mixes_per_type: int = 1,
     accesses_per_core: int = 4000,
     seed: int = 0,
+    engine: Optional[SweepEngine] = None,
 ) -> List[Dict[str, float]]:
     """Fig. 9: normalised weighted speedup per workload-intensity type."""
-    runner = ExperimentRunner(accesses_per_core=accesses_per_core, seed=seed)
+    runner = ExperimentRunner(
+        accesses_per_core=accesses_per_core, seed=seed, engine=engine
+    )
     rows: List[Dict[str, float]] = []
     for mix_type in MIX_TYPES:
         mixes = [
@@ -278,11 +294,13 @@ def fig12_data(
     num_mixes: int = 2,
     accesses_per_core: int = 4000,
     seed: int = 0,
+    engine: Optional[SweepEngine] = None,
 ) -> List[Dict[str, float]]:
     """Fig. 12: Chronus vs ABACuS with ABACuS's address mapping."""
     base = paper_system_config().with_overrides(address_mapping="ABACuS")
     runner = ExperimentRunner(
-        base_config=base, accesses_per_core=accesses_per_core, seed=seed
+        base_config=base, accesses_per_core=accesses_per_core, seed=seed,
+        engine=engine,
     )
     mixes = [mix.applications for mix in default_mixes(num_mixes)]
     comparisons = runner.compare(("Chronus", "ABACuS"), nrh_values, mixes)
@@ -306,13 +324,15 @@ def fig14_fig15_data(
     applications: Optional[Sequence[str]] = None,
     accesses_per_core: int = 2500,
     seed: int = 0,
+    engine: Optional[SweepEngine] = None,
 ) -> List[Dict[str, float]]:
     """Fig. 14 / 15: PRAC-4 on eight-core homogeneous workloads, large LLC."""
     if applications is None:
         applications = ["519.lbm", "505.mcf", "523.xalancbmk", "541.leela"]
     base = appendix_e_system_config()
     runner = ExperimentRunner(
-        base_config=base, accesses_per_core=accesses_per_core, seed=seed
+        base_config=base, accesses_per_core=accesses_per_core, seed=seed,
+        engine=engine,
     )
     mixes = [tuple([app] * base.num_cores) for app in applications]
     comparisons = runner.compare(("PRAC-4",), nrh_values, mixes)
@@ -347,13 +367,15 @@ def table4_data(
     num_mixes: int = 2,
     accesses_per_core: int = 4000,
     seed: int = 0,
+    engine: Optional[SweepEngine] = None,
 ) -> List[Dict[str, float]]:
     """Table 4: PRAC-4 overhead with the old (buggy) vs fixed timings."""
     rows: List[Dict[str, float]] = []
     for legacy in (True, False):
         base = paper_system_config().with_overrides(legacy_prac_timings=legacy)
         runner = ExperimentRunner(
-            base_config=base, accesses_per_core=accesses_per_core, seed=seed
+            base_config=base, accesses_per_core=accesses_per_core, seed=seed,
+            engine=engine,
         )
         mixes = [mix.applications for mix in default_mixes(num_mixes)]
         comparisons = runner.compare(("PRAC-4",), nrh_values, mixes)
@@ -394,6 +416,7 @@ def sec11_simulation_data(
     accesses_per_core: int = 3000,
     attack_accesses: int = 12000,
     seed: int = 0,
+    engine: Optional[SweepEngine] = None,
 ) -> List[Dict[str, float]]:
     """§11 simulation: one attacker core + three benign cores.
 
@@ -401,30 +424,39 @@ def sec11_simulation_data(
     single-application slowdown are reported relative to the same mix running
     under the same mechanism *without* the attacker.
     """
-    rows: List[Dict[str, float]] = []
+    engine = engine if engine is not None else SweepEngine()
+    base = paper_system_config()
     mixes = default_mixes(num_mixes)
+
+    def point_jobs(mechanism: str, nrh: int, mix) -> tuple:
+        benign_apps = tuple(mix.applications[:3])
+        attacked = attack_job(
+            base, benign_apps, mechanism, nrh, accesses_per_core,
+            attack_accesses, seed=seed, workload_name=f"attack+{mix.name}",
+        )
+        peaceful = mechanism_job(
+            base, benign_apps, mechanism, nrh, accesses_per_core,
+            seed=seed, workload_name=mix.name,
+        )
+        return attacked, peaceful
+
+    points = [
+        (mechanism, nrh, mix)
+        for mechanism in mechanisms
+        for nrh in nrh_values
+        for mix in mixes
+    ]
+    engine.run_jobs([job for point in points for job in point_jobs(*point)])
+
+    rows: List[Dict[str, float]] = []
     for mechanism in mechanisms:
         for nrh in nrh_values:
             ws_losses = []
             max_slowdowns = []
             for mix in mixes:
-                benign_apps = list(mix.applications[:3])
-                benign_traces = build_mix_traces(
-                    benign_apps, accesses_per_core=accesses_per_core, seed=seed
-                )
-                attack = performance_attack_trace(num_accesses=attack_accesses, seed=seed)
-
-                config = paper_system_config(mechanism=mechanism, nrh=nrh).with_overrides(
-                    num_cores=4, attacker_cores=(0,)
-                )
-                attacked = simulate(
-                    config, [attack] + benign_traces, workload_name=f"attack+{mix.name}"
-                )
-
-                peaceful_config = paper_system_config(mechanism=mechanism, nrh=nrh).with_overrides(
-                    num_cores=3
-                )
-                peaceful = simulate(peaceful_config, benign_traces, workload_name=mix.name)
+                attacked_job, peaceful_job = point_jobs(mechanism, nrh, mix)
+                attacked = engine.run_job(attacked_job)
+                peaceful = engine.run_job(peaceful_job)
 
                 benign_ipcs_attacked = attacked.core_ipcs[1:]
                 benign_ipcs_peaceful = peaceful.core_ipcs

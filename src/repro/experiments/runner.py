@@ -1,36 +1,45 @@
-"""Experiment runner.
+"""Experiment runner: a thin, metric-aware consumer of the sweep engine.
 
-The runner executes the simulations behind the paper's evaluation figures:
-for a set of workload mixes, mechanisms and RowHammer thresholds it
+The runner aggregates the simulations behind the paper's evaluation figures:
+for a set of workload mixes, mechanisms and RowHammer thresholds it needs
 
-1. simulates every application alone on the baseline (no mitigation) system
-   to obtain the ``IPC_alone`` values the weighted-speedup metric needs,
-2. simulates every mix on the baseline system (the normalisation point), and
-3. simulates every (mix, mechanism, N_RH) combination,
+1. every application alone on the baseline (no mitigation) system to obtain
+   the ``IPC_alone`` values the weighted-speedup metric needs,
+2. every mix on the baseline system (the normalisation point), and
+3. every (mix, mechanism, N_RH) combination.
 
-caching the baseline results so they are reused across mechanisms and
-thresholds.  Experiments are scaled by ``accesses_per_core``: the paper runs
-100 M instructions per core on a compute cluster; the default here is small
-enough for a laptop while preserving the relative overheads (see
-EXPERIMENTS.md for the exact budgets used for the recorded results).
+All three kinds of run are expressed as :class:`~repro.experiments.sweep.SimJob`
+objects and executed by a :class:`~repro.experiments.sweep.SweepEngine`, which
+memoises each result -- keyed by the *full* system configuration, access
+budget and seed -- in a :class:`~repro.experiments.cache.ResultCache` and can
+fan the independent jobs out across worker processes.  Repeated sweeps (and
+different figures sharing baselines) therefore re-simulate nothing.
+
+Experiments are scaled by ``accesses_per_core``: the paper runs 100 M
+instructions per core on a compute cluster; the default here is small enough
+for a laptop while preserving the relative overheads (see docs/EXPERIMENTS.md
+for the exact budgets used for the recorded results).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
-from repro.cpu.trace import Trace
+from repro.experiments.cache import ResultCache
+from repro.experiments.sweep import (
+    SweepEngine,
+    SweepSpec,
+    alone_job,
+    baseline_job,
+    mechanism_job,
+)
 from repro.system.config import SystemConfig, paper_system_config
 from repro.system.metrics import (
     SimulationResult,
-    max_slowdown,
     normalized_weighted_speedup,
-    weighted_speedup,
 )
-from repro.system.simulator import simulate
-from repro.workloads.mixes import WorkloadMix, build_mix_traces, workload_mixes
-from repro.workloads.synthetic import generate_trace
+from repro.workloads.mixes import WorkloadMix, workload_mixes
 
 
 @dataclass
@@ -68,68 +77,58 @@ class MechanismComparison:
 
 
 class ExperimentRunner:
-    """Runs and caches the simulations of the performance experiments."""
+    """Builds jobs, delegates execution to the engine, aggregates metrics."""
 
     def __init__(
         self,
         base_config: Optional[SystemConfig] = None,
         accesses_per_core: int = 6000,
         seed: int = 0,
+        cache: Optional[ResultCache] = None,
+        workers: Optional[int] = None,
+        engine: Optional[SweepEngine] = None,
     ) -> None:
+        """Create a runner.
+
+        Args:
+            base_config: system configuration every job derives from.
+            accesses_per_core: memory accesses generated per core.
+            seed: base seed for trace generation.
+            cache: result cache for a newly created engine (ignored when
+                ``engine`` is given).
+            workers: worker-process count for a newly created engine.
+            engine: share an existing engine (and therefore its cache)
+                across runners, e.g. between figures of one benchmark run.
+        """
         self.base_config = base_config or paper_system_config()
         self.accesses_per_core = accesses_per_core
         self.seed = seed
-        self._alone_ipc_cache: Dict[str, float] = {}
-        self._baseline_cache: Dict[Tuple[str, ...], SimulationResult] = {}
+        self.engine = engine if engine is not None else SweepEngine(
+            cache=cache, workers=workers
+        )
 
     # ------------------------------------------------------------------ #
     # Building blocks
     # ------------------------------------------------------------------ #
-    def _mix_traces(self, applications: Sequence[str]) -> List[Trace]:
-        return build_mix_traces(
-            applications,
-            accesses_per_core=self.accesses_per_core,
-            organization=self.base_config.organization,
-            seed=self.seed,
-        )
-
     def alone_ipc(self, application: str) -> float:
         """IPC of an application running alone on the baseline system."""
-        if application in self._alone_ipc_cache:
-            return self._alone_ipc_cache[application]
-        config = self.base_config.with_overrides(
-            num_cores=1, mechanism="None", attacker_cores=()
-        )
-        trace = generate_trace(
-            application, num_accesses=self.accesses_per_core, seed=self.seed
-        )
-        result = simulate(config, [trace], workload_name=f"{application}-alone")
-        ipc = result.core_ipcs[0]
-        self._alone_ipc_cache[application] = ipc
-        return ipc
+        job = alone_job(self.base_config, application, self.accesses_per_core, self.seed)
+        return self.engine.run_job(job).core_ipcs[0]
 
     def baseline_result(self, applications: Sequence[str]) -> SimulationResult:
-        """No-mitigation run of a mix (cached)."""
-        key = tuple(applications)
-        if key in self._baseline_cache:
-            return self._baseline_cache[key]
-        config = self.base_config.with_overrides(
-            num_cores=len(applications), mechanism="None"
-        )
-        result = simulate(config, self._mix_traces(applications),
-                          workload_name="+".join(applications))
-        self._baseline_cache[key] = result
-        return result
+        """No-mitigation run of a mix (cached, keyed by the full config)."""
+        job = baseline_job(self.base_config, applications, self.accesses_per_core, self.seed)
+        return self.engine.run_job(job)
 
     def run_mix(
         self, applications: Sequence[str], mechanism: str, nrh: int
     ) -> SimulationResult:
         """Simulate a mix under one mechanism / threshold."""
-        config = self.base_config.with_overrides(
-            num_cores=len(applications), mechanism=mechanism, nrh=nrh
+        job = mechanism_job(
+            self.base_config, applications, mechanism, nrh,
+            self.accesses_per_core, self.seed,
         )
-        return simulate(config, self._mix_traces(applications),
-                        workload_name="+".join(applications))
+        return self.engine.run_job(job)
 
     # ------------------------------------------------------------------ #
     # Metrics
@@ -154,6 +153,22 @@ class ExperimentRunner:
     # ------------------------------------------------------------------ #
     # Sweeps
     # ------------------------------------------------------------------ #
+    def sweep_spec(
+        self,
+        mechanisms: Sequence[str],
+        nrh_values: Sequence[int],
+        mixes: Sequence[Sequence[str]],
+    ) -> SweepSpec:
+        """The declarative sweep this runner's parameters imply."""
+        return SweepSpec(
+            mechanisms=tuple(mechanisms),
+            nrh_values=tuple(nrh_values),
+            mixes=tuple(tuple(mix) for mix in mixes),
+            accesses_per_core=self.accesses_per_core,
+            seed=self.seed,
+            base_config=self.base_config,
+        )
+
     def compare(
         self,
         mechanisms: Sequence[str],
@@ -161,24 +176,34 @@ class ExperimentRunner:
         mixes: Sequence[Sequence[str]],
     ) -> List[MechanismComparison]:
         """Run the full (mechanism x N_RH x mix) sweep and aggregate."""
-        comparisons: List[MechanismComparison] = []
-        for mechanism in mechanisms:
-            for nrh in nrh_values:
-                comparison = MechanismComparison(mechanism=mechanism, nrh=nrh)
-                for applications in mixes:
-                    result = self.run_mix(applications, mechanism, nrh)
-                    comparison.normalized_weighted_speedups.append(
-                        self.normalized_ws(applications, result)
-                    )
-                    comparison.normalized_energies.append(
-                        self.normalized_energy(applications, result)
-                    )
-                    comparison.backoffs_per_mcycle.append(
-                        result.backoffs_per_million_cycles()
-                    )
-                    comparison.is_secure = comparison.is_secure and result.is_secure
-                comparisons.append(comparison)
-        return comparisons
+        spec = self.sweep_spec(mechanisms, nrh_values, mixes)
+        # One batched engine call executes every missing job (in parallel if
+        # the engine has workers); the per-point lookups below are all hits.
+        self.engine.run(spec)
+        return [
+            self._comparison(mechanism, nrh, spec.mixes)
+            for mechanism in spec.mechanisms
+            for nrh in spec.nrh_values
+        ]
+
+    def _comparison(
+        self, mechanism: str, nrh: int, mixes: Sequence[Sequence[str]]
+    ) -> MechanismComparison:
+        """Aggregate one (mechanism, N_RH) point over its mixes."""
+        comparison = MechanismComparison(mechanism=mechanism, nrh=nrh)
+        for applications in mixes:
+            result = self.run_mix(applications, mechanism, nrh)
+            comparison.normalized_weighted_speedups.append(
+                self.normalized_ws(applications, result)
+            )
+            comparison.normalized_energies.append(
+                self.normalized_energy(applications, result)
+            )
+            comparison.backoffs_per_mcycle.append(
+                result.backoffs_per_million_cycles()
+            )
+            comparison.is_secure = comparison.is_secure and result.is_secure
+        return comparison
 
     def single_core_sweep(
         self,
@@ -190,14 +215,17 @@ class ExperimentRunner:
 
         Returns ``{mechanism: {application: normalized speedup}}``.
         """
-        results: Dict[str, Dict[str, float]] = {}
-        for mechanism in mechanisms:
-            per_app: Dict[str, float] = {}
-            for application in applications:
-                result = self.run_mix([application], mechanism, nrh)
-                per_app[application] = self.normalized_ws([application], result)
-            results[mechanism] = per_app
-        return results
+        spec = self.sweep_spec(mechanisms, [nrh], [(app,) for app in applications])
+        self.engine.run(spec)
+        return {
+            mechanism: {
+                application: self.normalized_ws(
+                    [application], self.run_mix([application], mechanism, nrh)
+                )
+                for application in applications
+            }
+            for mechanism in mechanisms
+        }
 
 
 def default_mixes(count: int, mix_types: Optional[Sequence[str]] = None, seed: int = 42) -> List[WorkloadMix]:

@@ -1,0 +1,393 @@
+"""Declarative sweep engine: expand, execute (in parallel), and memoise.
+
+The paper's evaluation is a Cartesian sweep -- (workload mix x mechanism x
+RowHammer threshold) -- plus the baseline runs the weighted-speedup metric
+needs.  This module turns such a sweep into data:
+
+* :class:`SimJob` -- one self-contained simulation: a fully resolved
+  :class:`~repro.system.config.SystemConfig`, the applications of the mix,
+  the per-core access budget and the seed.  Jobs are immutable, picklable
+  and content-addressed (:attr:`SimJob.key`), so they can be shipped to
+  worker processes and memoised on disk.
+* :class:`SweepSpec` -- the declarative description of a sweep
+  (mechanisms, N_RH values, mixes, budget, seed, base config) that
+  :meth:`~SweepSpec.expand`\\ s into the set of independent jobs, including
+  the per-application *alone* runs and per-mix no-mitigation *baseline*
+  runs shared by every sweep point.
+* :class:`SweepEngine` -- executes jobs serially or across worker
+  processes (``concurrent.futures.ProcessPoolExecutor``) and memoises every
+  result in a :class:`~repro.experiments.cache.ResultCache`.
+
+Determinism: a job's traces are regenerated inside the worker from
+``(applications, accesses_per_core, seed, organization)``, and every random
+decision in the simulator is seeded from the job itself, so the same spec
+produces byte-identical results regardless of worker count or execution
+order.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.factory import MECHANISM_NAMES
+from repro.cpu.trace import Trace
+from repro.experiments.cache import ResultCache, config_payload, job_key
+from repro.system.config import SystemConfig, paper_system_config
+from repro.system.metrics import SimulationResult
+from repro.system.simulator import simulate
+from repro.workloads.attacker import performance_attack_trace
+from repro.workloads.mixes import build_mix_traces
+
+#: Environment variable read for the default worker count (0/1 = serial).
+WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+
+
+def default_workers() -> int:
+    """Worker-process count used when none is given explicitly."""
+    try:
+        return int(os.environ.get(WORKERS_ENV, "0"))
+    except ValueError:
+        return 0
+
+
+# --------------------------------------------------------------------------- #
+# Jobs
+# --------------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class SimJob:
+    """One independent simulation of a sweep.
+
+    Attributes:
+        config: fully resolved system configuration (mechanism, N_RH and
+            ``num_cores`` already applied).
+        applications: application name per benign core, in core order.
+        accesses_per_core: memory accesses generated per benign core.
+        seed: base seed for trace generation (each core uses ``seed + slot``).
+        workload_name: label recorded in the result; *not* part of the cache
+            key, so cosmetically different names share one simulation.
+        attack_accesses: when positive, core 0 runs the §11 memory
+            performance attack trace with this many accesses and the benign
+            applications occupy the remaining cores.
+    """
+
+    config: SystemConfig
+    applications: Tuple[str, ...]
+    accesses_per_core: int
+    seed: int = 0
+    workload_name: str = ""
+    attack_accesses: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "applications", tuple(self.applications))
+        expected_cores = len(self.applications) + (1 if self.attack_accesses else 0)
+        if expected_cores != self.config.num_cores:
+            raise ValueError(
+                f"job provides {expected_cores} traces but the config has "
+                f"{self.config.num_cores} cores"
+            )
+        if self.accesses_per_core <= 0:
+            raise ValueError("accesses_per_core must be positive")
+
+    def cache_payload(self) -> Dict[str, object]:
+        """The job description the cache key is derived from."""
+        return {
+            "config": config_payload(self.config),
+            "applications": list(self.applications),
+            "accesses_per_core": self.accesses_per_core,
+            "seed": self.seed,
+            "attack_accesses": self.attack_accesses,
+        }
+
+    @property
+    def key(self) -> str:
+        """Content hash identifying this simulation."""
+        return job_key(self.cache_payload())
+
+    @property
+    def label(self) -> str:
+        """Short human-readable description (CLI / dry-run listings)."""
+        name = self.workload_name or "+".join(self.applications)
+        return f"{name} [{self.config.mechanism}@{self.config.nrh}]"
+
+
+def alone_job(
+    base_config: SystemConfig,
+    application: str,
+    accesses_per_core: int,
+    seed: int = 0,
+) -> SimJob:
+    """The single-core, no-mitigation run that yields ``IPC_alone``."""
+    config = base_config.with_overrides(
+        num_cores=1, mechanism="None", attacker_cores=()
+    )
+    return SimJob(
+        config=config,
+        applications=(application,),
+        accesses_per_core=accesses_per_core,
+        seed=seed,
+        workload_name=f"{application}-alone",
+    )
+
+
+def baseline_job(
+    base_config: SystemConfig,
+    applications: Sequence[str],
+    accesses_per_core: int,
+    seed: int = 0,
+) -> SimJob:
+    """The no-mitigation run of a mix (the normalisation point)."""
+    applications = tuple(applications)
+    config = base_config.with_overrides(
+        num_cores=len(applications), mechanism="None"
+    )
+    return SimJob(
+        config=config,
+        applications=applications,
+        accesses_per_core=accesses_per_core,
+        seed=seed,
+        workload_name="+".join(applications),
+    )
+
+
+def mechanism_job(
+    base_config: SystemConfig,
+    applications: Sequence[str],
+    mechanism: str,
+    nrh: int,
+    accesses_per_core: int,
+    seed: int = 0,
+    workload_name: Optional[str] = None,
+) -> SimJob:
+    """A mix simulated under one (mechanism, N_RH) sweep point."""
+    applications = tuple(applications)
+    config = base_config.with_overrides(
+        num_cores=len(applications), mechanism=mechanism, nrh=nrh
+    )
+    return SimJob(
+        config=config,
+        applications=applications,
+        accesses_per_core=accesses_per_core,
+        seed=seed,
+        workload_name=workload_name or "+".join(applications),
+    )
+
+
+def attack_job(
+    base_config: SystemConfig,
+    benign_applications: Sequence[str],
+    mechanism: str,
+    nrh: int,
+    accesses_per_core: int,
+    attack_accesses: int,
+    seed: int = 0,
+    workload_name: Optional[str] = None,
+) -> SimJob:
+    """The §11 performance attack: one attacker core + benign cores."""
+    benign_applications = tuple(benign_applications)
+    config = base_config.with_overrides(
+        num_cores=len(benign_applications) + 1,
+        mechanism=mechanism,
+        nrh=nrh,
+        attacker_cores=(0,),
+    )
+    return SimJob(
+        config=config,
+        applications=benign_applications,
+        accesses_per_core=accesses_per_core,
+        seed=seed,
+        workload_name=workload_name or "attack+" + "+".join(benign_applications),
+        attack_accesses=attack_accesses,
+    )
+
+
+def build_job_traces(job: SimJob) -> List[Trace]:
+    """Regenerate the per-core traces of a job (deterministic)."""
+    traces: List[Trace] = []
+    if job.attack_accesses:
+        traces.append(
+            performance_attack_trace(num_accesses=job.attack_accesses, seed=job.seed)
+        )
+    traces.extend(
+        build_mix_traces(
+            job.applications,
+            accesses_per_core=job.accesses_per_core,
+            organization=job.config.organization,
+            seed=job.seed,
+        )
+    )
+    return traces
+
+
+def execute_job(job: SimJob) -> SimulationResult:
+    """Run one job to completion (also the worker-process entry point)."""
+    return simulate(job.config, build_job_traces(job), workload_name=job.workload_name)
+
+
+# --------------------------------------------------------------------------- #
+# Sweep specification
+# --------------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Declarative description of a (mechanism x N_RH x mix) sweep."""
+
+    mechanisms: Tuple[str, ...]
+    nrh_values: Tuple[int, ...]
+    mixes: Tuple[Tuple[str, ...], ...]
+    accesses_per_core: int = 4000
+    seed: int = 0
+    base_config: Optional[SystemConfig] = None
+    include_alone: bool = True
+    include_baselines: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "mechanisms", tuple(self.mechanisms))
+        object.__setattr__(self, "nrh_values", tuple(self.nrh_values))
+        object.__setattr__(
+            self, "mixes", tuple(tuple(mix) for mix in self.mixes)
+        )
+        for mechanism in self.mechanisms:
+            if mechanism not in MECHANISM_NAMES:
+                raise ValueError(
+                    f"unknown mechanism {mechanism!r}; expected one of {MECHANISM_NAMES}"
+                )
+        if any(nrh <= 0 for nrh in self.nrh_values):
+            raise ValueError("every N_RH value must be positive")
+        if any(not mix for mix in self.mixes):
+            raise ValueError("every mix needs at least one application")
+        if self.accesses_per_core <= 0:
+            raise ValueError("accesses_per_core must be positive")
+
+    def resolved_base_config(self) -> SystemConfig:
+        return self.base_config if self.base_config is not None else paper_system_config()
+
+    @property
+    def applications(self) -> Tuple[str, ...]:
+        """Distinct applications across all mixes, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for mix in self.mixes:
+            for application in mix:
+                seen.setdefault(application, None)
+        return tuple(seen)
+
+    def num_points(self) -> int:
+        """Number of (mechanism, N_RH, mix) sweep points."""
+        return len(self.mechanisms) * len(self.nrh_values) * len(self.mixes)
+
+    def alone_jobs(self) -> List[SimJob]:
+        base = self.resolved_base_config()
+        return [
+            alone_job(base, application, self.accesses_per_core, self.seed)
+            for application in self.applications
+        ]
+
+    def baseline_jobs(self) -> List[SimJob]:
+        base = self.resolved_base_config()
+        return [
+            baseline_job(base, mix, self.accesses_per_core, self.seed)
+            for mix in self.mixes
+        ]
+
+    def mechanism_jobs(self) -> List[SimJob]:
+        base = self.resolved_base_config()
+        return [
+            mechanism_job(base, mix, mechanism, nrh, self.accesses_per_core, self.seed)
+            for mechanism in self.mechanisms
+            for nrh in self.nrh_values
+            for mix in self.mixes
+        ]
+
+    def expand(self) -> List[SimJob]:
+        """All jobs of the sweep, deduplicated by content key.
+
+        Alone and baseline runs come first so that, under parallel
+        execution, the normalisation points are available as early as
+        possible.
+        """
+        jobs: List[SimJob] = []
+        if self.include_alone:
+            jobs.extend(self.alone_jobs())
+        if self.include_baselines:
+            jobs.extend(self.baseline_jobs())
+        jobs.extend(self.mechanism_jobs())
+        unique: Dict[str, SimJob] = {}
+        for job in jobs:
+            unique.setdefault(job.key, job)
+        return list(unique.values())
+
+
+# --------------------------------------------------------------------------- #
+# Engine
+# --------------------------------------------------------------------------- #
+
+class SweepEngine:
+    """Executes :class:`SimJob`\\ s with memoisation and optional parallelism."""
+
+    def __init__(
+        self,
+        cache: Optional[ResultCache] = None,
+        workers: Optional[int] = None,
+    ) -> None:
+        """Create an engine.
+
+        Args:
+            cache: result cache; a fresh memory-only cache when omitted.
+            workers: worker-process count; ``None`` reads the
+                ``REPRO_SWEEP_WORKERS`` environment variable, and values
+                below 2 execute serially in-process.
+        """
+        self.cache = cache if cache is not None else ResultCache()
+        self.workers = default_workers() if workers is None else workers
+        self.executed_jobs = 0
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run_job(self, job: SimJob) -> SimulationResult:
+        """Run (or fetch) a single job."""
+        result = self.cache.get(job.key)
+        if result is None:
+            result = execute_job(job)
+            self.executed_jobs += 1
+            self.cache.put(job.key, result, job.cache_payload())
+        return result
+
+    def run_jobs(self, jobs: Sequence[SimJob]) -> Dict[str, SimulationResult]:
+        """Run a batch of jobs, returning ``{job.key: result}``.
+
+        Cached jobs are served immediately; the remainder executes either
+        serially or across worker processes.  The result mapping is
+        independent of execution order, so parallel and serial runs are
+        interchangeable.
+        """
+        unique: Dict[str, SimJob] = {}
+        for job in jobs:
+            unique.setdefault(job.key, job)
+        results: Dict[str, SimulationResult] = {}
+        missing: List[SimJob] = []
+        for key, job in unique.items():
+            cached = self.cache.get(key)
+            if cached is not None:
+                results[key] = cached
+            else:
+                missing.append(job)
+        if not missing:
+            return results
+        if self.workers >= 2 and len(missing) > 1:
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                executed = list(pool.map(execute_job, missing))
+        else:
+            executed = [execute_job(job) for job in missing]
+        for job, result in zip(missing, executed):
+            self.executed_jobs += 1
+            self.cache.put(job.key, result, job.cache_payload())
+            results[job.key] = result
+        return results
+
+    def run(self, spec: SweepSpec) -> Dict[str, SimulationResult]:
+        """Expand and run a whole sweep."""
+        return self.run_jobs(spec.expand())
