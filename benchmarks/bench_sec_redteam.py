@@ -1,0 +1,63 @@
+"""Red-team search: empirical vs analytical security boundary per mechanism.
+
+Runs the :mod:`repro.attacks` red-team engine over a representative set of
+mechanisms and prints, for each, the RowHammer thresholds at which a
+synthesised attack pattern empirically escapes (ground-truth disturbance
+oracle) next to the analytical wave-attack bound.  All probes go through
+the shared session sweep engine, so repeated runs replay from the on-disk
+result cache.  See docs/ATTACKS.md.
+"""
+
+from repro.attacks.redteam import RedTeamEngine
+
+from conftest import print_cache_stats, print_figure, run_once
+
+#: One representative per mechanism class (keeps the cold run laptop-sized).
+REDTEAM_MECHANISMS = ("Chronus", "PRAC-4", "PRFM", "Graphene")
+
+REDTEAM_NRH_GRID = (1, 2, 4, 8, 16)
+
+REDTEAM_PATTERNS = ("single_sided", "wave", "rfm_dodge")
+
+
+def redteam_rows(engine):
+    redteam = RedTeamEngine(engine=engine)
+    reports = redteam.compare(
+        REDTEAM_MECHANISMS, REDTEAM_NRH_GRID, patterns=REDTEAM_PATTERNS
+    )
+    return [
+        {
+            "mechanism": report.mechanism,
+            "escaping_nrh": ",".join(map(str, report.escaping_nrh_values())) or "-",
+            "empirical_min_secure": report.empirical_min_secure_nrh,
+            "analytical_min_secure": report.analytical_min_secure,
+            "disagreement": report.disagreement or "-",
+        }
+        for report in reports
+    ]
+
+
+def test_redteam_boundary_vs_analysis(benchmark, sweep_engine):
+    rows = run_once(benchmark, redteam_rows, sweep_engine)
+    print_figure(
+        "Red team: empirical escaping N_RH vs analytical bound",
+        rows,
+        columns=(
+            "mechanism",
+            "escaping_nrh",
+            "empirical_min_secure",
+            "analytical_min_secure",
+            "disagreement",
+        ),
+    )
+    print_cache_stats(sweep_engine)
+    by_mechanism = {row["mechanism"]: row for row in rows}
+    # Every mechanism reports an empirical escaping threshold (N_RH = 1 is
+    # the degenerate floor: the first activation already escapes).
+    assert all(row["escaping_nrh"].split(",")[0] == "1" for row in rows)
+    # Chronus' empirical boundary coincides with the paper's closed form
+    # (NBO >= 1 requires N_RH >= Anormal + 2 = 5).
+    chronus = by_mechanism["Chronus"]
+    assert chronus["empirical_min_secure"] == chronus["analytical_min_secure"] == 5
+    # No attack escapes at a threshold the analysis claims secure.
+    assert all(row["disagreement"] == "-" for row in rows)

@@ -17,7 +17,7 @@ from repro.analysis.bandwidth import (
     chronus_max_bandwidth_consumption,
     prac_max_bandwidth_consumption,
 )
-from repro.workloads.attacker import performance_attack_trace
+from repro.attacks.patterns import performance_attack_trace
 from repro.workloads.mixes import build_mix_traces
 
 

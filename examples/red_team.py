@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Red-team a mitigation mechanism with synthesised attack patterns.
+
+Compiles every registered attack pattern (see ``python -m repro attack
+list``), lets a ground-truth disturbance oracle watch each one run against
+Chronus and PRAC-4, and then searches for the empirical minimum RowHammer
+threshold at which an attack escapes -- printed next to the paper's
+analytical bound.
+
+Run with::
+
+    python examples/red_team.py
+
+The probes are memoised in the shared on-disk result cache, so a second run
+completes almost instantly.  See docs/ATTACKS.md for the pattern catalogue
+and the search semantics.
+"""
+
+from repro.attacks import AttackSpec, pattern_names
+from repro.attacks.redteam import RedTeamEngine
+from repro.experiments.cache import ResultCache, default_cache_dir
+from repro.experiments.sweep import SweepEngine, attack_search_job
+from repro.system.config import paper_system_config
+
+MECHANISMS = ("Chronus", "PRAC-4")
+NRH_GRID = (1, 2, 4, 8, 16)
+PATTERNS = ("single_sided", "wave", "rfm_dodge")
+
+
+def probe_all_patterns(engine: SweepEngine, nrh: int = 16, mechanism: str = "Chronus") -> None:
+    """Show the oracle's view of every pattern at one sweep point."""
+    print(f"Ground-truth disturbance per pattern ({mechanism}, N_RH={nrh}):")
+    base = paper_system_config()
+    jobs = {
+        name: attack_search_job(base, mechanism, nrh, AttackSpec.create(name))
+        for name in pattern_names()
+    }
+    results = engine.run_jobs(list(jobs.values()))
+    for name, job in jobs.items():
+        stats = results[job.key].mitigation_stats
+        print(
+            f"  {name:13s} max row disturbance {stats['oracle_max_disturbance']:4d} "
+            f"/ {nrh}  ({stats['oracle_activations']} ACTs, "
+            f"{stats['oracle_mitigation_events']} victim refreshes)"
+        )
+    print()
+
+
+def search_boundaries(engine: SweepEngine) -> None:
+    """Empirical vs analytical security boundary for each mechanism."""
+    redteam = RedTeamEngine(engine=engine)
+    for mechanism in MECHANISMS:
+        report = redteam.search(mechanism, NRH_GRID, patterns=PATTERNS)
+        print(f"{mechanism}:")
+        print(f"  escaping thresholds : {report.escaping_nrh_values() or 'none'}")
+        print(f"  empirical min secure: {report.empirical_min_secure_nrh}")
+        print(f"  analytical min secure: {report.analytical_min_secure}")
+        disagreement = report.disagreement
+        print(f"  agreement            : {'no -- ' + disagreement if disagreement else 'yes'}\n")
+
+
+def main() -> None:
+    engine = SweepEngine(cache=ResultCache(default_cache_dir()))
+    probe_all_patterns(engine)
+    search_boundaries(engine)
+    print(engine.cache.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -17,6 +17,9 @@ from repro.analysis.security import (
     SecurityParameters,
     chronus_max_activations,
     chronus_secure_backoff_threshold,
+    minimum_secure_nrh_chronus,
+    minimum_secure_nrh_prac,
+    minimum_secure_nrh_prfm,
     prac_max_activations,
     prac_security_sweep,
     prfm_max_activations,
@@ -42,6 +45,9 @@ __all__ = [
     "secure_prfm_threshold",
     "secure_prac_backoff_threshold",
     "chronus_secure_backoff_threshold",
+    "minimum_secure_nrh_prac",
+    "minimum_secure_nrh_prfm",
+    "minimum_secure_nrh_chronus",
     "att_required_entries",
     "dram_bandwidth_consumption",
     "prac_max_bandwidth_consumption",

@@ -380,3 +380,32 @@ def minimum_secure_nrh_prac(
         prac_max_activations(1, nref, r1, params=params) for r1 in row_set_sizes
     )
     return worst + 1
+
+
+def minimum_secure_nrh_prfm(
+    params: SecurityParameters = DEFAULT_PARAMETERS,
+    candidate_thresholds: Sequence[int] = DEFAULT_RFM_THRESHOLDS,
+    row_set_sizes: Sequence[int] = DEFAULT_ROW_SET_SIZES,
+) -> int:
+    """Smallest ``N_RH`` at which PRFM can be configured securely.
+
+    PRFM's most aggressive candidate configuration is the smallest RFM
+    threshold; the wave attack's worst case under that threshold plus one is
+    the lowest ``N_RH`` for which :func:`secure_prfm_threshold` succeeds.
+    """
+    most_aggressive = min(candidate_thresholds)
+    worst = max(
+        prfm_max_activations(most_aggressive, r1, params) for r1 in row_set_sizes
+    )
+    return worst + 1
+
+
+def minimum_secure_nrh_chronus(
+    params: SecurityParameters = DEFAULT_PARAMETERS,
+) -> int:
+    """Smallest ``N_RH`` at which Chronus can be configured securely.
+
+    Chronus needs ``NBO >= 1`` with ``NBO < N_RH - Anormal`` (§8), so the
+    smallest workable threshold is ``Anormal + 2``.
+    """
+    return params.normal_traffic_activations_chronus + 2

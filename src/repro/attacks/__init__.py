@@ -1,0 +1,55 @@
+"""Adversarial attack synthesis and empirical red-team search.
+
+* :mod:`repro.attacks.patterns` -- the declarative attack-pattern registry
+  and the :class:`AttackSpec` that compiles patterns into traces.
+* :mod:`repro.attacks.oracle` -- the ground-truth disturbance oracle.
+* :mod:`repro.attacks.redteam` -- the cached empirical search engine and its
+  analytical comparison.
+
+``repro.attacks.redteam`` pulls in the sweep engine, which itself compiles
+attack traces via this package, so the red-team names are re-exported
+lazily (PEP 562) to keep the import graph acyclic.
+"""
+
+from repro.attacks.oracle import DisturbanceOracle
+from repro.attacks.patterns import (
+    ATTACK_PATTERNS,
+    AttackPattern,
+    AttackSpec,
+    default_search_specs,
+    pattern_by_name,
+    pattern_names,
+    performance_attack_trace,
+    wave_attack_addresses,
+    wave_attack_trace,
+)
+
+_LAZY_REDTEAM = (
+    "RedTeamEngine",
+    "RedTeamReport",
+    "ProbeResult",
+    "DEFAULT_NRH_GRID",
+    "analytical_min_secure_nrh",
+)
+
+__all__ = [
+    "ATTACK_PATTERNS",
+    "AttackPattern",
+    "AttackSpec",
+    "DisturbanceOracle",
+    "default_search_specs",
+    "pattern_by_name",
+    "pattern_names",
+    "performance_attack_trace",
+    "wave_attack_addresses",
+    "wave_attack_trace",
+    *_LAZY_REDTEAM,
+]
+
+
+def __getattr__(name: str):
+    if name in _LAZY_REDTEAM:
+        from repro.attacks import redteam
+
+        return getattr(redteam, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

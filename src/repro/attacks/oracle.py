@@ -1,0 +1,144 @@
+"""Ground-truth read-disturbance oracle.
+
+The mitigation mechanisms under test keep their *own* activation counters --
+trusting those to decide whether an attack succeeded would let a broken
+mechanism grade its own homework.  :class:`DisturbanceOracle` is an
+independent observer the simulator can attach to a run:
+
+* it counts, per (bank, row), the activations a row has received since its
+  victims were last refreshed (by a preventive refresh, an RFM, or a
+  borrowed refresh), mirroring the quantity the paper's analytical security
+  model bounds ("maximum activation count of any single row"), and
+* it records the peak of that quantity and whether it ever reached the
+  configured RowHammer threshold ``N_RH`` -- i.e. whether a bit flip
+  *escaped* the mitigation.
+
+Event sources (wired up by :class:`~repro.system.simulator.SystemSimulator`):
+
+* every ACT, via :meth:`~repro.dram.device.DramDevice.add_activation_listener`;
+* every victim refresh, via
+  :meth:`~repro.core.mitigation.MitigationMechanism.add_mitigation_listener`.
+  A refresh event names the aggressor row whose victims were refreshed, or
+  ``None`` when the DRAM chip picks the aggressor itself (PRFM's RFM): the
+  oracle then credits the defence with its *best possible* choice -- the
+  currently hottest row of the bank -- matching the generous assumption of
+  the Eq. 1 analysis.
+
+Partial refreshes (PARA refreshes a single neighbour per trigger) scale the
+aggressor's count down proportionally instead of clearing it, which keeps the
+oracle deterministic while modelling that most of the aggressor's victims
+remain disturbed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+
+class DisturbanceOracle:
+    """Tracks ground-truth per-row disturbance during one simulation."""
+
+    def __init__(self, nrh: int, blast_radius: int = 2) -> None:
+        if nrh <= 0:
+            raise ValueError("nrh must be positive")
+        if blast_radius <= 0:
+            raise ValueError("blast_radius must be positive")
+        self.nrh = nrh
+        self.blast_radius = blast_radius
+        #: Victim rows refreshed when an aggressor is fully mitigated.
+        self.victims_per_aggressor = 2 * blast_radius
+
+        #: (bank, row) -> activations since the row's victims were refreshed.
+        self._counts: Dict[Tuple[int, int], int] = {}
+        self.max_disturbance = 0
+        self.peak_bank: Optional[int] = None
+        self.peak_row: Optional[int] = None
+        self.first_escape_cycle: Optional[int] = None
+        self.activations_observed = 0
+        self.mitigation_events = 0
+
+    # ------------------------------------------------------------------ #
+    # Event sinks
+    # ------------------------------------------------------------------ #
+    def on_activate(self, bank_id: int, row: int, cycle: int) -> None:
+        """Record one activation of (bank, row)."""
+        self.activations_observed += 1
+        key = (bank_id, row)
+        count = self._counts.get(key, 0) + 1
+        self._counts[key] = count
+        if count > self.max_disturbance:
+            self.max_disturbance = count
+            self.peak_bank, self.peak_row = bank_id, row
+        if count >= self.nrh and self.first_escape_cycle is None:
+            self.first_escape_cycle = cycle
+
+    def on_victims_refreshed(
+        self, bank_id: int, aggressor_row: Optional[int], num_rows: int, cycle: int
+    ) -> None:
+        """Record that victims of an aggressor in ``bank_id`` were refreshed.
+
+        Args:
+            bank_id: flat bank index.
+            aggressor_row: the mitigated aggressor, or ``None`` when the
+                device picked the aggressor itself (the oracle then assumes
+                the hottest row of the bank -- the defence's best case).
+            num_rows: victim rows actually refreshed; fewer than
+                ``victims_per_aggressor`` scales the count instead of
+                clearing it.
+            cycle: DRAM cycle of the refresh (recorded for symmetry; the
+                oracle's bookkeeping is purely count-based).
+        """
+        self.mitigation_events += 1
+        if aggressor_row is None:
+            aggressor_row = self._hottest_row(bank_id)
+            if aggressor_row is None:
+                return
+        key = (bank_id, aggressor_row)
+        count = self._counts.get(key)
+        if not count:
+            return
+        if num_rows >= self.victims_per_aggressor:
+            self._counts[key] = 0
+        else:
+            # Partial refresh: the un-refreshed victims keep their
+            # accumulated disturbance.
+            remaining = self.victims_per_aggressor - num_rows
+            self._counts[key] = count * remaining // self.victims_per_aggressor
+
+    def _hottest_row(self, bank_id: int) -> Optional[int]:
+        """The row of ``bank_id`` with the highest current count."""
+        best_row: Optional[int] = None
+        best_count = 0
+        for (bank, row), count in self._counts.items():
+            if bank == bank_id and count > best_count:
+                best_row, best_count = row, count
+        return best_row
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    @property
+    def escaped(self) -> bool:
+        """True if any row reached ``N_RH`` activations unmitigated."""
+        return self.first_escape_cycle is not None
+
+    def current_count(self, bank_id: int, row: int) -> int:
+        """Current activation count of (bank, row) since its last refresh."""
+        return self._counts.get((bank_id, row), 0)
+
+    def rows_tracked(self) -> int:
+        """Distinct (bank, row) pairs that have been activated."""
+        return len(self._counts)
+
+    def stats_dict(self) -> Dict[str, int]:
+        """Integer stats merged into ``SimulationResult.mitigation_stats``."""
+        return {
+            "oracle_max_disturbance": self.max_disturbance,
+            "oracle_escaped": 1 if self.escaped else 0,
+            "oracle_first_escape_cycle": (
+                -1 if self.first_escape_cycle is None else self.first_escape_cycle
+            ),
+            "oracle_activations": self.activations_observed,
+            "oracle_mitigation_events": self.mitigation_events,
+            "oracle_rows_tracked": self.rows_tracked(),
+        }

@@ -16,6 +16,14 @@ Subcommands:
 ``mechanisms``
     List every mechanism name accepted by ``--mechanisms``.
 
+``attack``
+    The red-team subsystem (:mod:`repro.attacks`): ``attack list`` prints
+    the attack-pattern catalogue, ``attack trace`` compiles one pattern and
+    summarises (or saves) the resulting trace, ``attack search`` empirically
+    searches for the minimum RowHammer threshold at which a pattern escapes
+    a mechanism and compares it with the analytical bound, and ``attack
+    compare`` tabulates that boundary across mechanisms.
+
 The on-disk cache location defaults to ``$REPRO_CACHE_DIR`` or
 ``.repro-cache``; pass ``--no-cache`` for a purely in-memory run.
 """
@@ -24,14 +32,31 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
+from repro.attacks.patterns import (
+    ATTACK_PATTERNS,
+    AttackSpec,
+    default_search_specs,
+    pattern_by_name,
+    pattern_names,
+)
+from repro.attacks.redteam import DEFAULT_NRH_GRID, RedTeamEngine, RedTeamReport
 from repro.core.factory import MECHANISM_NAMES
 from repro.experiments.cache import ResultCache, default_cache_dir
 from repro.experiments.figures import format_rows
 from repro.experiments.runner import ExperimentRunner, default_mixes
 from repro.experiments.sweep import SweepEngine, default_workers
 from repro.workloads.mixes import MIX_TYPES
+
+#: Mechanisms ``attack compare`` tabulates by default (one representative of
+#: each class: the proposal, the industry on-die default, periodic RFM, and
+#: a deterministic controller-side tracker).
+DEFAULT_COMPARE_MECHANISMS = ("Chronus", "PRAC-4", "PRFM", "Graphene")
+
+#: Patterns ``attack compare`` uses by default (kept small: the comparison
+#: runs |mechanisms| x |grid| x |specs| simulations).
+DEFAULT_COMPARE_PATTERNS = ("wave", "single_sided", "rfm_dodge")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -90,6 +115,86 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     subparsers.add_parser("mechanisms", help="list the available mechanism names")
+
+    attack = subparsers.add_parser(
+        "attack", help="attack synthesis and empirical red-team search"
+    )
+    attack_sub = attack.add_subparsers(dest="attack_command", required=True)
+
+    attack_sub.add_parser("list", help="list the registered attack patterns")
+
+    trace = attack_sub.add_parser(
+        "trace", help="compile one attack pattern into a trace"
+    )
+    trace.add_argument(
+        "--pattern", required=True, choices=list(pattern_names()),
+        help="attack pattern to compile",
+    )
+    trace.add_argument(
+        "--set", action="append", default=[], metavar="NAME=VALUE",
+        dest="overrides", help="override a pattern parameter (repeatable)",
+    )
+    trace.add_argument("--seed", type=int, default=0, help="trace-generation seed")
+    trace.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="save the compiled trace in the text format instead of printing stats",
+    )
+
+    def add_search_options(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--nrh", nargs="+", type=int, default=list(DEFAULT_NRH_GRID),
+            metavar="N", help="RowHammer thresholds of the grid scan",
+        )
+        parser.add_argument("--seed", type=int, default=0, help="trace/mechanism seed")
+        parser.add_argument(
+            "--no-refine", action="store_true",
+            help="skip the bisection refinement of the empirical boundary",
+        )
+        parser.add_argument(
+            "--workers", type=int, default=None, metavar="N",
+            help="worker processes (default: $REPRO_SWEEP_WORKERS or serial)",
+        )
+        parser.add_argument(
+            "--cache-dir", default=None, metavar="PATH",
+            help="on-disk result cache (default: $REPRO_CACHE_DIR or .repro-cache)",
+        )
+        parser.add_argument(
+            "--no-cache", action="store_true",
+            help="keep results in memory only (no on-disk cache)",
+        )
+
+    search = attack_sub.add_parser(
+        "search",
+        help="search for the minimum N_RH at which an attack escapes a mechanism",
+    )
+    search.add_argument(
+        "--mechanism", required=True, choices=list(MECHANISM_NAMES),
+        help="mechanism to red-team",
+    )
+    search.add_argument(
+        "--patterns", nargs="+", default=None, choices=list(pattern_names()),
+        help="restrict the synthesised patterns (default: all)",
+    )
+    add_search_options(search)
+    search.add_argument(
+        "--dry-run", action="store_true",
+        help="list the grid-scan probe jobs and their cache status, then exit",
+    )
+
+    compare = attack_sub.add_parser(
+        "compare", help="tabulate the empirical vs analytical boundary per mechanism"
+    )
+    compare.add_argument(
+        "--mechanisms", nargs="+", default=list(DEFAULT_COMPARE_MECHANISMS),
+        choices=list(MECHANISM_NAMES), metavar="NAME",
+        help=f"mechanisms to compare (default: {', '.join(DEFAULT_COMPARE_MECHANISMS)})",
+    )
+    compare.add_argument(
+        "--patterns", nargs="+", default=list(DEFAULT_COMPARE_PATTERNS),
+        choices=list(pattern_names()),
+        help=f"patterns to try (default: {', '.join(DEFAULT_COMPARE_PATTERNS)})",
+    )
+    add_search_options(compare)
     return parser
 
 
@@ -178,6 +283,205 @@ def _cmd_mechanisms() -> int:
     return 0
 
 
+# --------------------------------------------------------------------------- #
+# attack subcommands
+# --------------------------------------------------------------------------- #
+
+def _cmd_attack_list() -> int:
+    rows = [
+        {
+            "pattern": pattern.name,
+            "summary": pattern.summary,
+            "defaults": ",".join(f"{k}={v}" for k, v in pattern.defaults),
+            "variants": len(pattern.search_variants),
+        }
+        for pattern in ATTACK_PATTERNS.values()
+    ]
+    print(format_rows(rows))
+    print(f"\n{len(rows)} registered attack patterns")
+    return 0
+
+
+def _parse_overrides(pairs: Sequence[str]) -> Dict[str, int]:
+    overrides: Dict[str, int] = {}
+    for pair in pairs:
+        name, separator, value = pair.partition("=")
+        if not separator or not name:
+            raise ValueError(f"expected NAME=VALUE, got {pair!r}")
+        overrides[name] = int(value)
+    return overrides
+
+
+def _cmd_attack_trace(args: argparse.Namespace) -> int:
+    try:
+        spec = AttackSpec.create(
+            args.pattern, _parse_overrides(args.overrides), seed=args.seed
+        )
+        trace = spec.compile()
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.out:
+        trace.save(args.out)
+        print(f"saved {trace.memory_accesses} accesses to {args.out}")
+        return 0
+    print(f"pattern: {spec.label} (seed {spec.seed})")
+    print(f"  {pattern_by_name(spec.pattern).summary}")
+    for name, value in sorted(spec.resolved_params.items()):
+        print(f"  {name} = {value}")
+    print(
+        f"trace: {trace.memory_accesses} accesses, "
+        f"{trace.total_instructions} instructions, "
+        f"{len({entry.address for entry in trace})} distinct addresses"
+    )
+    return 0
+
+
+def _redteam_engine(args: argparse.Namespace) -> RedTeamEngine:
+    workers = default_workers() if args.workers is None else args.workers
+    engine = SweepEngine(cache=_resolve_cache(args), workers=workers)
+    return RedTeamEngine(engine=engine, seed=args.seed)
+
+
+def _search_report_rows(report: RedTeamReport) -> List[dict]:
+    rows = []
+    for nrh in sorted({probe.nrh for probe in report.probes}):
+        best = report.best_probe(nrh)
+        rows.append(
+            {
+                "nrh": nrh,
+                "configured": "yes" if best.configured else "no",
+                "secure_config": "yes" if best.secure_config else "no",
+                "best_attack": best.spec_label,
+                "max_disturbance": best.max_disturbance,
+                "escaped": "yes" if best.escaped else "no",
+            }
+        )
+    return rows
+
+
+def _format_nrh(value: Optional[int]) -> str:
+    return "-" if value is None else str(value)
+
+
+def _print_search_summary(report: RedTeamReport) -> None:
+    print(
+        f"\nempirical: min escaping N_RH = "
+        f"{_format_nrh(report.empirical_min_escaping_nrh)}, "
+        f"max escaping = {_format_nrh(report.empirical_max_escaping_nrh)}, "
+        f"min secure = {_format_nrh(report.empirical_min_secure_nrh)}"
+    )
+    if report.empirical_min_escaping_nrh is None:
+        print(
+            "  (no escape observed: the mechanism held down to the smallest "
+            "probed threshold at this simulation scale)"
+        )
+    analytical = report.analytical_min_secure
+    if analytical is None:
+        print("analytical: no wave-attack bound modelled for this mechanism")
+    else:
+        print(f"analytical: min secure N_RH = {analytical}")
+        disagreement = report.disagreement
+        print(f"agreement: {'no -- ' + disagreement if disagreement else 'yes'}")
+
+
+def _cmd_attack_search(args: argparse.Namespace) -> int:
+    redteam = _redteam_engine(args)
+    specs = default_search_specs(args.patterns, seed=args.seed)
+
+    if args.dry_run:
+        try:
+            jobs = redteam.probe_jobs(args.mechanism, sorted(set(args.nrh)), specs)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        cache = redteam.engine.cache
+        # A spec's access count is independent of N_RH: compile each distinct
+        # spec once instead of once per grid point.
+        accesses = {
+            spec: spec.compile().memory_accesses
+            for spec in {job.attack for job in jobs}
+        }
+        rows = [
+            {
+                "job": index,
+                "workload": job.workload_name,
+                "nrh": job.config.nrh,
+                "accesses": accesses[job.attack],
+                "cached": "yes" if cache.contains(job.key) else "no",
+                "key": job.key[:12],
+            }
+            for index, job in enumerate(jobs)
+        ]
+        print(format_rows(rows))
+        cached = sum(1 for row in rows if row["cached"] == "yes")
+        print(
+            f"\ndry run: {len(jobs)} grid-scan probes ({cached} cached, "
+            f"{len(jobs) - cached} to simulate, workers={redteam.engine.workers}, "
+            f"cache={cache.directory or 'memory-only'})"
+        )
+        return 0
+
+    try:
+        report = redteam.search(
+            args.mechanism, args.nrh, patterns=args.patterns,
+            refine=not args.no_refine,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"red-team search: {args.mechanism} ({len(specs)} attack specs per N_RH)")
+    print(format_rows(_search_report_rows(report)))
+    _print_search_summary(report)
+    print(
+        f"\n{redteam.engine.executed_jobs} probes simulated; "
+        f"{redteam.engine.cache.summary()}"
+    )
+    return 0
+
+
+def _cmd_attack_compare(args: argparse.Namespace) -> int:
+    redteam = _redteam_engine(args)
+    rows = []
+    for mechanism in args.mechanisms:
+        report = redteam.search(
+            mechanism, args.nrh, patterns=args.patterns,
+            refine=not args.no_refine,
+        )
+        disagreement = report.disagreement
+        rows.append(
+            {
+                "mechanism": mechanism,
+                "empirical_min_escaping": _format_nrh(report.empirical_min_escaping_nrh),
+                "empirical_max_escaping": _format_nrh(report.empirical_max_escaping_nrh),
+                "empirical_min_secure": _format_nrh(report.empirical_min_secure_nrh),
+                "analytical_min_secure": _format_nrh(report.analytical_min_secure),
+                "agreement": (
+                    "-" if report.analytical_min_secure is None
+                    else ("no" if disagreement else "yes")
+                ),
+            }
+        )
+    print(format_rows(rows))
+    print(
+        f"\n{redteam.engine.executed_jobs} probes simulated; "
+        f"{redteam.engine.cache.summary()}"
+    )
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    if args.attack_command == "list":
+        return _cmd_attack_list()
+    if args.attack_command == "trace":
+        return _cmd_attack_trace(args)
+    if args.attack_command == "search":
+        return _cmd_attack_search(args)
+    if args.attack_command == "compare":
+        return _cmd_attack_compare(args)
+    raise AssertionError(f"unhandled attack command {args.attack_command!r}")
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -187,4 +491,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_cache(args)
     if args.command == "mechanisms":
         return _cmd_mechanisms()
+    if args.command == "attack":
+        return _cmd_attack(args)
     raise AssertionError(f"unhandled command {args.command!r}")

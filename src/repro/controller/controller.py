@@ -270,8 +270,14 @@ class MemoryController:
                     return True
                 continue
             if self.device.can_rfm([bank_id], cycle):
-                self.device.rfm([bank_id], cycle)
-                self.mechanism.acknowledge_rfm(bank_id, cycle)
+                refreshed = self.device.rfm([bank_id], cycle)
+                self.mechanism.acknowledge_rfm(
+                    bank_id,
+                    cycle,
+                    on_die_refreshed=(
+                        refreshed if self.device.mitigation is not None else None
+                    ),
+                )
                 self.stats.rfms += 1
                 self.stats.preventive_refresh_rows += self.mechanism.victim_rows_per_aggressor
                 return True
@@ -288,7 +294,7 @@ class MemoryController:
                     return True
                 continue
             if self.device.can_victim_refresh(bank_id, cycle):
-                refresh = self.mechanism.pop_refresh(bank_id)
+                refresh = self.mechanism.pop_refresh(bank_id, cycle)
                 if refresh is None:
                     continue
                 self.device.victim_refresh(bank_id, refresh.num_rows, cycle)

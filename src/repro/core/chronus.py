@@ -133,7 +133,7 @@ class Chronus(OnDieMitigation):
             entry = self.att[bank_id].max_entry()
             if entry is None or entry.count == 0:
                 continue
-            self._forget_row(bank_id, entry.row)
+            self._forget_row(bank_id, entry.row, cycle)
             self.stats.borrowed_refreshes += self.victim_rows_per_aggressor
 
     def on_refresh_window(self, cycle: int) -> None:
@@ -170,17 +170,20 @@ class Chronus(OnDieMitigation):
                     target = entry.row
             if target is None:
                 continue
-            self._forget_row(bank_id, target)
+            self._forget_row(bank_id, target, cycle)
             refreshed_rows += self.victim_rows_per_aggressor
         self.stats.rfm_commands += 1
         self.stats.preventive_refresh_rows += refreshed_rows
         return refreshed_rows
 
-    def _forget_row(self, bank_id: int, row: int) -> None:
+    def _forget_row(self, bank_id: int, row: int, cycle: int = 0) -> None:
         """Reset all tracking state of a row after its victims are refreshed."""
         self.counters.reset_row(bank_id, row)
         self.att[bank_id].invalidate(row)
         self._hot_rows[bank_id].discard(row)
+        self.notify_victims_refreshed(
+            bank_id, row, self.victim_rows_per_aggressor, cycle
+        )
 
     # ------------------------------------------------------------------ #
     # Reporting

@@ -24,7 +24,12 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
+
+#: Listener signature for victim-refresh events:
+#: ``(bank_id, aggressor_row, num_rows, cycle)``.  ``aggressor_row`` is None
+#: when the DRAM chip chooses the aggressor itself (e.g. a plain PRFM RFM).
+MitigationListener = Callable[[int, Optional[int], int, int], None]
 
 
 #: Number of physically adjacent victim rows on each side of an aggressor
@@ -94,6 +99,10 @@ class MitigationMechanism(abc.ABC):
         self.nrh = nrh
         self.blast_radius = blast_radius
         self.stats = MitigationStats()
+        #: External observers of victim-refresh events (e.g. the red-team
+        #: :class:`~repro.attacks.oracle.DisturbanceOracle`).  Not reset by
+        #: :meth:`reset` -- listeners outlive mechanism state.
+        self._mitigation_listeners: List[MitigationListener] = []
 
     # ------------------------------------------------------------------ #
     # Observation hooks
@@ -119,6 +128,28 @@ class MitigationMechanism(abc.ABC):
     def reset(self) -> None:
         """Reset all mechanism state (used between simulations)."""
         self.stats = MitigationStats()
+
+    # ------------------------------------------------------------------ #
+    # Victim-refresh observation
+    # ------------------------------------------------------------------ #
+    def add_mitigation_listener(self, listener: MitigationListener) -> None:
+        """Subscribe to victim-refresh events of this mechanism."""
+        self._mitigation_listeners.append(listener)
+
+    def notify_victims_refreshed(
+        self,
+        bank_id: int,
+        aggressor_row: Optional[int],
+        num_rows: int,
+        cycle: int,
+    ) -> None:
+        """Tell listeners the victims of an aggressor were just refreshed.
+
+        ``aggressor_row`` is ``None`` when the device chooses the aggressor
+        internally (the listener may assume the defence's best choice).
+        """
+        for listener in self._mitigation_listeners:
+            listener(bank_id, aggressor_row, num_rows, cycle)
 
     # ------------------------------------------------------------------ #
     # Reporting
@@ -167,12 +198,20 @@ class ControllerMitigation(MitigationMechanism):
         queue = self._pending.get(bank_id)
         return queue[0] if queue else None
 
-    def pop_refresh(self, bank_id: int) -> Optional[PreventiveRefresh]:
-        """Remove and return the oldest pending refresh for ``bank_id``."""
+    def pop_refresh(self, bank_id: int, cycle: int = 0) -> Optional[PreventiveRefresh]:
+        """Remove and return the oldest pending refresh for ``bank_id``.
+
+        The caller is about to serve the refresh, so listeners are notified
+        that the aggressor's victims are (being) refreshed.
+        """
         queue = self._pending.get(bank_id)
         if not queue:
             return None
-        return queue.pop(0)
+        refresh = queue.pop(0)
+        self.notify_victims_refreshed(
+            refresh.bank_id, refresh.aggressor_row, refresh.num_rows, cycle
+        )
+        return refresh
 
     def banks_with_pending_refreshes(self) -> List[int]:
         """Return the bank ids that currently have queued refreshes."""

@@ -150,6 +150,9 @@ class PRAC(OnDieMitigation):
             self.counters.reset_row(bank_id, entry.row)
             self.att[bank_id].invalidate(entry.row)
             self.stats.borrowed_refreshes += self.victim_rows_per_aggressor
+            self.notify_victims_refreshed(
+                bank_id, entry.row, self.victim_rows_per_aggressor, cycle
+            )
 
     def on_refresh_window(self, cycle: int) -> None:
         self.counters.reset_all()
@@ -195,6 +198,9 @@ class PRAC(OnDieMitigation):
             self.counters.reset_row(bank_id, entry.row)
             self.att[bank_id].invalidate(entry.row)
             refreshed_rows += self.victim_rows_per_aggressor
+            self.notify_victims_refreshed(
+                bank_id, entry.row, self.victim_rows_per_aggressor, cycle
+            )
         self.stats.rfm_commands += 1
         self.stats.preventive_refresh_rows += refreshed_rows
         if self._backoff:

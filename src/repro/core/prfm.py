@@ -90,11 +90,31 @@ class PRFM(ControllerMitigation):
     def rfm_needed(self, bank_id: int) -> bool:
         return self._rfm_pending[bank_id]
 
-    def acknowledge_rfm(self, bank_id: int, cycle: int) -> None:
+    def acknowledge_rfm(
+        self, bank_id: int, cycle: int, on_die_refreshed: Optional[int] = None
+    ) -> None:
+        """Reset the bank counter after the controller issued the RFM.
+
+        Args:
+            bank_id: bank the RFM covered.
+            cycle: issue cycle.
+            on_die_refreshed: victim rows an *on-die* mechanism refreshed
+                during this RFM, or ``None`` when the device hosts no on-die
+                mechanism at all.  Only in the ``None`` case does the plain
+                DRAM chip pick an aggressor itself, which listeners are told
+                about with an unknown (``None``) aggressor row; in composite
+                configurations (PRAC+PRFM) the on-die mechanism reports its
+                own refreshes -- including refreshing nothing -- so no
+                phantom refresh may be credited here.
+        """
         self._rfm_pending[bank_id] = False
         self._bank_counters[bank_id] = 0
         self.stats.rfm_commands += 1
         self.stats.preventive_refresh_rows += self.victim_rows_per_aggressor
+        if on_die_refreshed is None:
+            self.notify_victims_refreshed(
+                bank_id, None, self.victim_rows_per_aggressor, cycle
+            )
 
     def bank_counter(self, bank_id: int) -> int:
         """Current activation count of ``bank_id`` since the last RFM."""

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from collections import Counter, deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional
+from typing import Callable, Deque, Dict, List, Optional
 
 from repro.core.mitigation import OnDieMitigation
 from repro.dram.bank import Bank, BankState, TimingViolation
@@ -66,6 +66,15 @@ class DramDevice:
         self.internal_victim_rows = 0
         #: Cycle at which the back-off signal was last asserted (or None).
         self._backoff_observed_cycle: Optional[int] = None
+        #: External ACT observers ``(bank_id, row, cycle)`` (e.g. the
+        #: red-team disturbance oracle); independent of any mitigation.
+        self._activation_listeners: List[Callable[[int, int, int], None]] = []
+
+    def add_activation_listener(
+        self, listener: Callable[[int, int, int], None]
+    ) -> None:
+        """Subscribe to every ACT issued to this device."""
+        self._activation_listeners.append(listener)
 
     # ------------------------------------------------------------------ #
     # Geometry helpers
@@ -147,6 +156,8 @@ class DramDevice:
         self.command_counts["ACT"] += 1
         if self.mitigation is not None:
             self.mitigation.on_activate(bank_id, row, cycle)
+        for listener in self._activation_listeners:
+            listener(bank_id, row, cycle)
 
     def precharge(self, bank_id: int, cycle: int) -> int:
         """Issue a PRE to ``bank_id``.  Returns the closed row."""

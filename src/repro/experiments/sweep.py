@@ -18,6 +18,11 @@ needs.  This module turns such a sweep into data:
   processes (``concurrent.futures.ProcessPoolExecutor``) and memoises every
   result in a :class:`~repro.experiments.cache.ResultCache`.
 
+Beyond the Cartesian sweep, :func:`attack_job` builds the §11 performance
+attack runs and :func:`attack_search_job` builds the red-team probes of
+:mod:`repro.attacks` (a synthesised attack pattern simulated under a
+ground-truth disturbance oracle).
+
 Determinism: a job's traces are regenerated inside the worker from
 ``(applications, accesses_per_core, seed, organization)``, and every random
 decision in the simulator is seeded from the job itself, so the same spec
@@ -32,13 +37,14 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.attacks.oracle import DisturbanceOracle
+from repro.attacks.patterns import AttackSpec, performance_attack_trace
 from repro.core.factory import MECHANISM_NAMES
 from repro.cpu.trace import Trace
 from repro.experiments.cache import ResultCache, config_payload, job_key
 from repro.system.config import SystemConfig, paper_system_config
 from repro.system.metrics import SimulationResult
 from repro.system.simulator import simulate
-from repro.workloads.attacker import performance_attack_trace
 from repro.workloads.mixes import build_mix_traces
 
 #: Environment variable read for the default worker count (0/1 = serial).
@@ -72,6 +78,11 @@ class SimJob:
         attack_accesses: when positive, core 0 runs the §11 memory
             performance attack trace with this many accesses and the benign
             applications occupy the remaining cores.
+        attack: when set (an :class:`~repro.attacks.patterns.AttackSpec`),
+            core 0 runs the compiled attack pattern and the simulation is
+            observed by a ground-truth disturbance oracle whose ``oracle_*``
+            statistics land in the result's ``mitigation_stats`` -- the job
+            kind behind ``python -m repro attack search``.
     """
 
     config: SystemConfig
@@ -80,10 +91,14 @@ class SimJob:
     seed: int = 0
     workload_name: str = ""
     attack_accesses: int = 0
+    attack: Optional[AttackSpec] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "applications", tuple(self.applications))
-        expected_cores = len(self.applications) + (1 if self.attack_accesses else 0)
+        if self.attack_accesses and self.attack is not None:
+            raise ValueError("attack_accesses and attack are mutually exclusive")
+        has_attacker = bool(self.attack_accesses) or self.attack is not None
+        expected_cores = len(self.applications) + (1 if has_attacker else 0)
         if expected_cores != self.config.num_cores:
             raise ValueError(
                 f"job provides {expected_cores} traces but the config has "
@@ -94,13 +109,18 @@ class SimJob:
 
     def cache_payload(self) -> Dict[str, object]:
         """The job description the cache key is derived from."""
-        return {
+        payload: Dict[str, object] = {
             "config": config_payload(self.config),
             "applications": list(self.applications),
             "accesses_per_core": self.accesses_per_core,
             "seed": self.seed,
             "attack_accesses": self.attack_accesses,
         }
+        # Only attack-search jobs carry the spec, so the keys of every
+        # pre-existing job kind (and their on-disk cache entries) are stable.
+        if self.attack is not None:
+            payload["attack"] = self.attack.as_payload()
+        return payload
 
     @property
     def key(self) -> str:
@@ -204,6 +224,41 @@ def attack_job(
     )
 
 
+def attack_search_job(
+    base_config: SystemConfig,
+    mechanism: str,
+    nrh: int,
+    attack: AttackSpec,
+    benign_applications: Sequence[str] = (),
+    accesses_per_core: int = 1,
+    seed: int = 0,
+    workload_name: Optional[str] = None,
+) -> SimJob:
+    """A red-team probe: one attack pattern against one (mechanism, N_RH).
+
+    Core 0 runs the compiled attack trace (bypassing the LLC, like the §11
+    attacker); optional benign applications occupy the remaining cores.  The
+    executed simulation attaches a
+    :class:`~repro.attacks.oracle.DisturbanceOracle`, so the cached result
+    reports ground-truth ``oracle_*`` disturbance statistics.
+    """
+    benign_applications = tuple(benign_applications)
+    config = base_config.with_overrides(
+        num_cores=len(benign_applications) + 1,
+        mechanism=mechanism,
+        nrh=nrh,
+        attacker_cores=(0,),
+    )
+    return SimJob(
+        config=config,
+        applications=benign_applications,
+        accesses_per_core=accesses_per_core,
+        seed=seed,
+        workload_name=workload_name or f"{attack.label} vs {mechanism}@{nrh}",
+        attack=attack,
+    )
+
+
 def build_job_traces(job: SimJob) -> List[Trace]:
     """Regenerate the per-core traces of a job (deterministic)."""
     traces: List[Trace] = []
@@ -211,20 +266,33 @@ def build_job_traces(job: SimJob) -> List[Trace]:
         traces.append(
             performance_attack_trace(num_accesses=job.attack_accesses, seed=job.seed)
         )
-    traces.extend(
-        build_mix_traces(
-            job.applications,
-            accesses_per_core=job.accesses_per_core,
-            organization=job.config.organization,
-            seed=job.seed,
+    if job.attack is not None:
+        traces.append(job.attack.compile(organization=job.config.organization))
+    if job.applications:
+        traces.extend(
+            build_mix_traces(
+                job.applications,
+                accesses_per_core=job.accesses_per_core,
+                organization=job.config.organization,
+                seed=job.seed,
+            )
         )
-    )
     return traces
 
 
 def execute_job(job: SimJob) -> SimulationResult:
     """Run one job to completion (also the worker-process entry point)."""
-    return simulate(job.config, build_job_traces(job), workload_name=job.workload_name)
+    oracle = None
+    if job.attack is not None:
+        oracle = DisturbanceOracle(
+            nrh=job.config.nrh, blast_radius=job.config.blast_radius
+        )
+    return simulate(
+        job.config,
+        build_job_traces(job),
+        workload_name=job.workload_name,
+        oracle=oracle,
+    )
 
 
 # --------------------------------------------------------------------------- #

@@ -10,7 +10,7 @@ simulations tractable while preserving command-level timing fidelity.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.controller.address_mapping import mapping_by_name
 from repro.controller.controller import MemoryController
@@ -23,6 +23,9 @@ from repro.dram.timing import ddr5_3200an
 from repro.energy.drampower import DEFAULT_ENERGY_MODEL, EnergyModel
 from repro.system.config import SystemConfig
 from repro.system.metrics import SimulationResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (attacks -> sweep)
+    from repro.attacks.oracle import DisturbanceOracle
 
 #: Sentinel "no event" value used by the event hints.
 FAR_FUTURE = 1 << 62
@@ -37,6 +40,7 @@ class SystemSimulator:
         traces: Sequence[Trace],
         workload_name: Optional[str] = None,
         energy_model: Optional[EnergyModel] = None,
+        oracle: Optional["DisturbanceOracle"] = None,
     ) -> None:
         if len(traces) != config.num_cores:
             raise ValueError(
@@ -46,6 +50,7 @@ class SystemSimulator:
         self.traces = list(traces)
         self.workload_name = workload_name or "+".join(trace.name for trace in traces)
         self.energy_model = energy_model or DEFAULT_ENERGY_MODEL
+        self.oracle = oracle
 
         organization = config.organization
         self.setup: MechanismSetup = build_mechanism(
@@ -90,6 +95,13 @@ class SystemSimulator:
             for index, trace in enumerate(self.traces)
         ]
         self.cycle = 0
+
+        if self.oracle is not None:
+            # Ground-truth observation: every ACT, plus every victim refresh
+            # any installed mechanism performs or requests.
+            self.device.add_activation_listener(self.oracle.on_activate)
+            for mechanism in self.setup.mechanisms():
+                mechanism.add_mitigation_listener(self.oracle.on_victims_refreshed)
 
     # ------------------------------------------------------------------ #
     # Main loop
@@ -152,6 +164,8 @@ class SystemSimulator:
             for key, value in mechanism.stats.as_dict().items():
                 mitigation_stats[key] = mitigation_stats.get(key, 0) + value
             borrowed_rows += mechanism.stats.borrowed_refreshes
+        if self.oracle is not None:
+            mitigation_stats.update(self.oracle.stats_dict())
 
         breakdown = self.energy_model.compute(
             command_counts=self.device.command_counts,
@@ -194,6 +208,14 @@ def simulate(
     config: SystemConfig,
     traces: Sequence[Trace],
     workload_name: Optional[str] = None,
+    oracle: Optional["DisturbanceOracle"] = None,
 ) -> SimulationResult:
-    """Convenience wrapper: build a :class:`SystemSimulator` and run it."""
-    return SystemSimulator(config, traces, workload_name=workload_name).run()
+    """Convenience wrapper: build a :class:`SystemSimulator` and run it.
+
+    When ``oracle`` (a :class:`~repro.attacks.oracle.DisturbanceOracle`) is
+    given, its ground-truth disturbance statistics are merged into the
+    result's ``mitigation_stats`` under ``oracle_*`` keys.
+    """
+    return SystemSimulator(
+        config, traces, workload_name=workload_name, oracle=oracle
+    ).run()

@@ -9,7 +9,9 @@ from repro.workloads.synthetic import (
     profile_by_name,
 )
 from repro.workloads.mixes import MIX_TYPES, WorkloadMix, build_mix_traces, workload_mixes
-from repro.workloads.attacker import (
+# Attack traces live in repro.attacks now; re-exported here for
+# backwards compatibility (repro.workloads.attacker is a deprecation shim).
+from repro.attacks.patterns import (
     performance_attack_trace,
     wave_attack_addresses,
     wave_attack_trace,

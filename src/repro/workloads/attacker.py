@@ -1,139 +1,31 @@
-"""Adversarial access patterns.
+"""Deprecated location of the adversarial access patterns.
 
-Two attackers from the paper:
-
-* the **wave attack** (§4): hammer a large set of decoy rows in a balanced
-  way so that a periodic / budget-limited mitigation can only refresh a small
-  subset per preventive action; used by the security analysis and by the
-  end-to-end security example.
-* the **memory performance attack** (§11): a core that repeatedly activates a
-  small number of rows in a few banks as fast as possible to trigger the
-  maximum rate of preventive refreshes, degrading co-running applications.
+The attack builders moved into the :mod:`repro.attacks` subsystem (the
+declarative pattern registry plus the red-team search engine).  This module
+remains as a thin shim so existing imports keep working; new code should use
+:mod:`repro.attacks.patterns`.
 """
 
 from __future__ import annotations
 
-import random
-from typing import List, Optional, Sequence
+import warnings
 
-from repro.controller.address_mapping import AddressMapping, mop_mapping
-from repro.cpu.trace import Trace, TraceEntry
-from repro.dram.organization import DramAddress, DramOrganization, PAPER_ORGANIZATION
+from repro.attacks.patterns import (  # noqa: F401  (re-exports)
+    _address_for,
+    performance_attack_trace,
+    wave_attack_addresses,
+    wave_attack_trace,
+)
 
+warnings.warn(
+    "repro.workloads.attacker is deprecated; import attack builders from "
+    "repro.attacks (e.g. repro.attacks.patterns) instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
-def _address_for(
-    mapping: AddressMapping,
-    organization: DramOrganization,
-    bank_index: int,
-    row: int,
-    column: int = 0,
-) -> int:
-    """Physical address that decodes to (bank_index, row, column)."""
-    rank, bankgroup, bank = organization.unflatten_bank_index(bank_index)
-    dram = DramAddress(
-        channel=0, rank=rank, bankgroup=bankgroup, bank=bank, row=row, column=column
-    )
-    return mapping.encode(dram)
-
-
-def wave_attack_addresses(
-    num_rows: int,
-    bank_index: int = 0,
-    organization: DramOrganization = PAPER_ORGANIZATION,
-    mapping: Optional[AddressMapping] = None,
-    row_stride: int = 4,
-    first_row: int = 0,
-) -> List[int]:
-    """Physical addresses of ``num_rows`` decoy rows in one bank.
-
-    Rows are spaced ``row_stride`` apart so their victim sets do not overlap
-    (the paper assumes a blast radius of 2).
-    """
-    if num_rows <= 0:
-        raise ValueError("num_rows must be positive")
-    mapping = mapping or mop_mapping(organization)
-    addresses = []
-    for index in range(num_rows):
-        row = (first_row + index * row_stride) % organization.rows
-        addresses.append(_address_for(mapping, organization, bank_index, row))
-    return addresses
-
-
-def wave_attack_trace(
-    num_rows: int = 64,
-    rounds: int = 32,
-    bank_index: int = 0,
-    organization: DramOrganization = PAPER_ORGANIZATION,
-    mapping: Optional[AddressMapping] = None,
-    name: str = "wave_attack",
-) -> Trace:
-    """A wave-attack trace: hammer every decoy row once per round.
-
-    Alternating between two distinct columns of each row forces a fresh
-    activation per access even under an open-page policy.
-    """
-    if rounds <= 0:
-        raise ValueError("rounds must be positive")
-    mapping = mapping or mop_mapping(organization)
-    entries: List[TraceEntry] = []
-    for round_index in range(rounds):
-        for index in range(num_rows):
-            row = (index * 4) % organization.rows
-            # Interleave with a conflicting row in the same bank so that each
-            # access closes the previously open row (classic hammer kernel).
-            conflict_row = (row + 2) % organization.rows
-            entries.append(
-                TraceEntry(
-                    gap_instructions=0,
-                    address=_address_for(mapping, organization, bank_index, row),
-                )
-            )
-            entries.append(
-                TraceEntry(
-                    gap_instructions=0,
-                    address=_address_for(mapping, organization, bank_index, conflict_row),
-                )
-            )
-    return Trace(name, entries)
-
-
-def performance_attack_trace(
-    num_banks: int = 4,
-    rows_per_bank: int = 8,
-    num_accesses: int = 40_000,
-    organization: DramOrganization = PAPER_ORGANIZATION,
-    mapping: Optional[AddressMapping] = None,
-    seed: int = 0,
-    name: str = "perf_attack",
-) -> Trace:
-    """The §11 memory performance attack.
-
-    One malicious core hammers ``rows_per_bank`` rows in each of ``num_banks``
-    banks back-to-back (no compute gap), maximising the rate of preventive
-    refreshes that the mitigation mechanism performs and thereby hogging DRAM
-    bandwidth.  The paper found 8 rows x 4 banks to be the most damaging
-    pattern for both Chronus and PRAC in its configuration.
-    """
-    if num_banks <= 0 or rows_per_bank <= 0 or num_accesses <= 0:
-        raise ValueError("attack parameters must be positive")
-    mapping = mapping or mop_mapping(organization)
-    rng = random.Random(seed)
-    banks = list(range(min(num_banks, organization.total_banks)))
-    base_row = rng.randrange(organization.rows // 2)
-    rows = [base_row + 4 * index for index in range(rows_per_bank)]
-
-    entries: List[TraceEntry] = []
-    cursor = 0
-    while len(entries) < num_accesses:
-        row = rows[cursor % rows_per_bank]
-        for bank_index in banks:
-            if len(entries) >= num_accesses:
-                break
-            entries.append(
-                TraceEntry(
-                    gap_instructions=0,
-                    address=_address_for(mapping, organization, bank_index, row),
-                )
-            )
-        cursor += 1
-    return Trace(name, entries)
+__all__ = [
+    "performance_attack_trace",
+    "wave_attack_addresses",
+    "wave_attack_trace",
+]

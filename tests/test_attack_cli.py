@@ -1,0 +1,90 @@
+"""Tests for the ``python -m repro attack`` CLI group."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestAttackList:
+    def test_lists_every_pattern(self, capsys):
+        assert main(["attack", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("single_sided", "wave", "rfm_dodge", "perf_attack"):
+            assert name in out
+        assert "7 registered attack patterns" in out
+
+
+class TestAttackTrace:
+    def test_prints_trace_summary(self, capsys):
+        assert main(
+            ["attack", "trace", "--pattern", "wave",
+             "--set", "num_rows=8", "--set", "rounds=2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "wave(num_rows=8,rounds=2)" in out
+        assert "32 accesses" in out  # 8 rows x 2 rounds x 2 (conflict interleave)
+
+    def test_saves_trace_to_file(self, capsys, tmp_path):
+        path = tmp_path / "attack.trace"
+        assert main(
+            ["attack", "trace", "--pattern", "many_sided",
+             "--set", "rounds=2", "--out", str(path)]
+        ) == 0
+        assert "saved 16 accesses" in capsys.readouterr().out
+        assert path.exists()
+
+    def test_bad_override_reports_error(self, capsys):
+        assert main(
+            ["attack", "trace", "--pattern", "wave", "--set", "warp=9"]
+        ) == 2
+        assert "unknown parameter" in capsys.readouterr().err
+
+
+class TestAttackSearch:
+    def test_dry_run_lists_probes_without_simulating(self, capsys):
+        assert main(
+            ["attack", "search", "--mechanism", "Chronus", "--dry-run",
+             "--no-cache", "--patterns", "single_sided", "--nrh", "8", "16"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "dry run:" in out
+        assert "to simulate" in out
+        assert "single_sided vs Chronus@8" in out
+
+    def test_dry_run_skips_unconfigurable_points(self, capsys):
+        assert main(
+            ["attack", "search", "--mechanism", "Chronus", "--dry-run",
+             "--no-cache", "--patterns", "single_sided", "--nrh", "1", "2"]
+        ) == 0
+        assert "0 to simulate" in capsys.readouterr().out
+
+    def test_search_reports_empirical_and_analytical_boundary(self, capsys):
+        assert main(
+            ["attack", "search", "--mechanism", "Chronus", "--no-cache",
+             "--patterns", "single_sided", "--nrh", "1", "2", "4", "--no-refine"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "empirical: min escaping N_RH = 1" in out
+        assert "analytical: min secure N_RH = 5" in out
+        assert "agreement: yes" in out
+
+    def test_search_simulates_configured_points(self, capsys):
+        assert main(
+            ["attack", "search", "--mechanism", "None", "--no-cache",
+             "--patterns", "single_sided", "--nrh", "2", "--no-refine"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "escaped" in out
+        assert "0 probes simulated" not in out
+
+
+class TestAttackCompare:
+    def test_compare_unconfigurable_grid_is_instant(self, capsys):
+        assert main(
+            ["attack", "compare", "--mechanisms", "Chronus", "--no-cache",
+             "--patterns", "single_sided", "--nrh", "1", "2", "--no-refine"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Chronus" in out
+        assert "0 probes simulated" in out
+        assert "analytical_min_secure" in out

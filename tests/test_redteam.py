@@ -1,0 +1,176 @@
+"""Tests for the red-team search engine and the attack_search_job kind."""
+
+import pytest
+
+from repro.attacks.patterns import AttackSpec
+from repro.attacks.redteam import (
+    RedTeamEngine,
+    analytical_min_secure_nrh,
+)
+from repro.analysis.security import (
+    minimum_secure_nrh_chronus,
+    minimum_secure_nrh_prac,
+)
+from repro.core.factory import MECHANISM_NAMES
+from repro.experiments.cache import ResultCache
+from repro.experiments.sweep import (
+    SweepEngine,
+    attack_search_job,
+    execute_job,
+    mechanism_job,
+)
+from repro.system.config import paper_system_config
+
+
+#: Small, fast attack specs used throughout this module.
+FAST_SPECS = (
+    AttackSpec.create("single_sided", {"hammer_count": 250}),
+    AttackSpec.create("rfm_dodge", {"rounds": 30}),
+)
+
+
+class TestAttackSearchJob:
+    def test_job_shape(self):
+        job = attack_search_job(
+            paper_system_config(), "Chronus", 16, FAST_SPECS[0]
+        )
+        assert job.config.num_cores == 1
+        assert job.config.attacker_cores == (0,)
+        assert job.config.mechanism == "Chronus"
+        assert job.config.nrh == 16
+        assert job.attack == FAST_SPECS[0]
+
+    def test_payload_includes_attack_spec(self):
+        job = attack_search_job(paper_system_config(), "Chronus", 16, FAST_SPECS[0])
+        payload = job.cache_payload()
+        assert payload["attack"]["pattern"] == "single_sided"
+        assert payload["attack"]["params"]["hammer_count"] == 250
+
+    def test_non_attack_jobs_keep_their_cache_keys(self):
+        """Adding the attack field must not invalidate existing caches."""
+        job = mechanism_job(paper_system_config(), ("429.mcf",), "Chronus", 1024, 100)
+        assert "attack" not in job.cache_payload()
+
+    def test_different_specs_get_different_keys(self):
+        base = paper_system_config()
+        keys = {
+            attack_search_job(base, "Chronus", 16, spec).key for spec in FAST_SPECS
+        }
+        assert len(keys) == len(FAST_SPECS)
+
+    def test_attack_and_attack_accesses_exclusive(self):
+        config = paper_system_config().with_overrides(
+            num_cores=1, attacker_cores=(0,)
+        )
+        from repro.experiments.sweep import SimJob
+
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            SimJob(
+                config=config,
+                applications=(),
+                accesses_per_core=1,
+                attack_accesses=100,
+                attack=FAST_SPECS[0],
+            )
+
+    def test_execute_attaches_oracle_stats(self):
+        job = attack_search_job(paper_system_config(), "None", 4, FAST_SPECS[0])
+        result = execute_job(job)
+        assert "oracle_escaped" in result.mitigation_stats
+        assert result.mitigation_stats["oracle_max_disturbance"] > 0
+
+    def test_execution_deterministic(self):
+        job = attack_search_job(paper_system_config(), "PARA", 8, FAST_SPECS[0])
+        first = execute_job(job)
+        second = execute_job(job)
+        assert first.mitigation_stats == second.mitigation_stats
+        assert first.cycles == second.cycles
+
+
+class TestAnalyticalBounds:
+    def test_prac_bounds_monotone_in_nref(self):
+        assert analytical_min_secure_nrh("PRAC-1") >= analytical_min_secure_nrh(
+            "PRAC-2"
+        ) >= analytical_min_secure_nrh("PRAC-4")
+
+    def test_known_values(self):
+        assert analytical_min_secure_nrh("PRAC-4") == minimum_secure_nrh_prac(4)
+        assert analytical_min_secure_nrh("Chronus") == minimum_secure_nrh_chronus()
+        # Anormal = 3 with the default parameters -> Chronus needs N_RH >= 5.
+        assert analytical_min_secure_nrh("Chronus") == 5
+
+    def test_unmodelled_mechanisms_return_none(self):
+        for mechanism in ("None", "Graphene", "Hydra", "PARA", "ABACuS"):
+            assert analytical_min_secure_nrh(mechanism) is None
+
+
+class TestRedTeamSearch:
+    def test_every_factory_mechanism_is_probeable(self):
+        """nrh=1 is the degenerate floor: everything must report an escape."""
+        redteam = RedTeamEngine()
+        for mechanism in MECHANISM_NAMES:
+            report = redteam.search(
+                mechanism, [1], specs=FAST_SPECS[:1], refine=False
+            )
+            assert report.empirical_min_escaping_nrh == 1, mechanism
+
+    def test_chronus_boundary_matches_analysis(self):
+        redteam = RedTeamEngine()
+        report = redteam.search("Chronus", [1, 2, 4, 8], specs=FAST_SPECS)
+        # Below Anormal + 2 Chronus cannot be configured at all.
+        assert report.empirical_max_escaping_nrh == 4
+        assert report.empirical_min_secure_nrh == 5
+        assert report.analytical_min_secure == 5
+        assert report.disagreement is None
+
+    def test_unconfigurable_points_do_not_simulate(self):
+        redteam = RedTeamEngine()
+        report = redteam.search("Chronus", [1, 2], specs=FAST_SPECS, refine=False)
+        assert redteam.engine.executed_jobs == 0
+        assert all(not probe.configured for probe in report.probes)
+
+    def test_refinement_narrows_to_consecutive_thresholds(self):
+        redteam = RedTeamEngine()
+        report = redteam.search("Chronus", [1, 8], specs=FAST_SPECS, refine=True)
+        assert report.refined
+        assert (
+            report.empirical_min_secure_nrh
+            == report.empirical_max_escaping_nrh + 1
+        )
+
+    def test_search_is_deterministic(self):
+        first = RedTeamEngine().search("PRFM", [1, 4], specs=FAST_SPECS)
+        second = RedTeamEngine().search("PRFM", [1, 4], specs=FAST_SPECS)
+        assert [
+            (p.nrh, p.spec, p.escaped, p.max_disturbance) for p in first.probes
+        ] == [(p.nrh, p.spec, p.escaped, p.max_disturbance) for p in second.probes]
+
+    def test_second_search_served_from_cache(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        first = RedTeamEngine(engine=SweepEngine(cache=ResultCache(cache_dir)))
+        first.search("PRFM", [2, 4], specs=FAST_SPECS)
+        assert first.engine.executed_jobs > 0
+
+        second = RedTeamEngine(engine=SweepEngine(cache=ResultCache(cache_dir)))
+        report = second.search("PRFM", [2, 4], specs=FAST_SPECS)
+        assert second.engine.executed_jobs == 0
+        assert second.engine.cache.hit_rate() == 1.0
+        assert report.probes  # results still assembled from cached entries
+
+    def test_parallel_equals_serial(self):
+        serial = RedTeamEngine(engine=SweepEngine(workers=0))
+        parallel = RedTeamEngine(engine=SweepEngine(workers=2))
+        spec = FAST_SPECS[0]
+        serial_report = serial.search("None", [2, 4], specs=[spec], refine=False)
+        parallel_report = parallel.search("None", [2, 4], specs=[spec], refine=False)
+        assert [
+            (p.nrh, p.escaped, p.max_disturbance) for p in serial_report.probes
+        ] == [(p.nrh, p.escaped, p.max_disturbance) for p in parallel_report.probes]
+
+    def test_unknown_mechanism_rejected(self):
+        with pytest.raises(ValueError, match="unknown mechanism"):
+            RedTeamEngine().search("RowPressGuard", [1])
+
+    def test_invalid_grid_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            RedTeamEngine().search("Chronus", [0, 4])

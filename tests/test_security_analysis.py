@@ -9,7 +9,9 @@ from repro.analysis.security import (
     att_required_entries,
     chronus_max_activations,
     chronus_secure_backoff_threshold,
+    minimum_secure_nrh_chronus,
     minimum_secure_nrh_prac,
+    minimum_secure_nrh_prfm,
     prac_max_activations,
     prac_security_sweep,
     prfm_max_activations,
@@ -143,6 +145,91 @@ class TestCrossMechanismClaims:
         chronus_nbo = chronus_secure_backoff_threshold(nrh)
         prac_nbo = secure_prac_backoff_threshold(nrh, 4)
         assert chronus_nbo > 2 * prac_nbo
+
+
+class TestBoundaryBehaviour:
+    """Edge / boundary behaviour of the secure-configuration search
+    (consumed by the red-team engine's analytical comparison)."""
+
+    def test_minimum_secure_nrh_prac_monotone_in_nref(self):
+        """More RFMs per back-off never raise the security floor."""
+        assert (
+            minimum_secure_nrh_prac(1)
+            >= minimum_secure_nrh_prac(2)
+            >= minimum_secure_nrh_prac(4)
+        )
+
+    def test_minimum_secure_nrh_prac_is_tight(self):
+        """At the minimum a secure NBO exists; one below it none does."""
+        for nref in (1, 2, 4):
+            minimum = minimum_secure_nrh_prac(nref)
+            assert secure_prac_backoff_threshold(minimum, nref) >= 1
+            with pytest.raises(ValueError):
+                secure_prac_backoff_threshold(minimum - 1, nref)
+
+    def test_minimum_secure_nrh_prfm_is_tight(self):
+        minimum = minimum_secure_nrh_prfm()
+        assert secure_prfm_threshold(minimum) >= 2
+        with pytest.raises(ValueError):
+            secure_prfm_threshold(minimum - 1)
+
+    def test_minimum_secure_nrh_chronus_is_tight(self):
+        minimum = minimum_secure_nrh_chronus()
+        assert minimum == DEFAULT_PARAMETERS.normal_traffic_activations_chronus + 2
+        # The smallest workable configuration is NBO = 1...
+        assert chronus_secure_backoff_threshold(minimum) == 1
+        # ...and one threshold below it no configuration exists.
+        with pytest.raises(ValueError):
+            chronus_secure_backoff_threshold(minimum - 1)
+
+    @settings(max_examples=40, deadline=None)
+    @given(nrh=st.integers(min_value=5, max_value=2048))
+    def test_chronus_secure_backoff_threshold_monotone(self, nrh):
+        """NBO(N_RH) never decreases when the threshold relaxes by one."""
+        assert chronus_secure_backoff_threshold(nrh + 1) >= (
+            chronus_secure_backoff_threshold(nrh)
+        )
+
+    def test_chronus_counter_width_cap_boundary(self):
+        """The 8-bit counter cap engages exactly at Anormal + 257."""
+        anormal = DEFAULT_PARAMETERS.normal_traffic_activations_chronus
+        cap_boundary = 256 + anormal + 1
+        assert chronus_secure_backoff_threshold(cap_boundary) == 256
+        assert chronus_secure_backoff_threshold(cap_boundary - 1) == 255
+        assert chronus_secure_backoff_threshold(cap_boundary + 100) == 256
+
+    def test_prfm_max_activations_single_row_set(self):
+        """|R1| = 1 with RFMth = 1: the first round already mitigates."""
+        assert prfm_max_activations(1, 1) == 1
+
+    def test_prfm_max_activations_threshold_of_one_bounds_tightest(self):
+        """RFMth = 1 is the most aggressive configuration of all."""
+        for rows in (2048, 65536):
+            assert prfm_max_activations(1, rows) <= prfm_max_activations(2, rows)
+
+    def test_prfm_max_activations_huge_threshold_window_bound(self):
+        """A threshold larger than the window's activation budget never
+        triggers an RFM: the refresh window is the only limit."""
+        window_rounds = prfm_max_activations(1 << 30, 2048)
+        budget = DEFAULT_PARAMETERS.trefw_ns / (2048 * DEFAULT_PARAMETERS.trc_ns)
+        assert window_rounds == int(budget)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        threshold=st.integers(min_value=1, max_value=64),
+        rows=st.sampled_from([512, 2048, 8192]),
+    )
+    def test_prfm_survivor_outlasts_threshold_rounds(self, threshold, rows):
+        """Mitigation removes at most one row per ``RFMth`` activations, so
+        (while the refresh window is not binding -- guaranteed by the bounded
+        parameter ranges) the last survivor sees at least ``RFMth`` rounds.
+
+        Note that ``prfm_max_activations`` is *not* pointwise monotone in the
+        threshold for a fixed ``|R1|``: a larger threshold keeps rounds large,
+        so fewer rounds fit into the refresh window (Eq. 1's two competing
+        terms); only this lower bound holds unconditionally.
+        """
+        assert prfm_max_activations(threshold, rows) >= threshold
 
 
 @settings(max_examples=30, deadline=None)
