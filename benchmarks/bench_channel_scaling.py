@@ -1,0 +1,129 @@
+"""Channel scale-out: read-bandwidth scaling and per-mechanism completion.
+
+The paper's simulated system (Table 2) is a single DDR5 channel; the
+multi-channel scale-out generalises it to N independent channels behind a
+:class:`~repro.controller.router.ChannelRouter`.  This benchmark demonstrates
+the two properties the scale-out claims:
+
+1. **Bandwidth scaling.**  A bandwidth-bound synthetic workload (four cores
+   issuing back-to-back random reads that miss every row buffer and bypass
+   the LLC) gains aggregate read bandwidth roughly linearly in the channel
+   count; the benchmark asserts >= 1.5x from one channel to two.
+2. **Mechanism compatibility.**  Every mechanism of
+   :data:`~repro.core.factory.MECHANISM_NAMES` runs a two-channel system to
+   completion (one mitigation instance per channel).
+
+Both parts simulate directly (no result cache): the traces are tiny and the
+point is the scaling ratio, not a cached figure.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.factory import MECHANISM_NAMES
+from repro.cpu.trace import Trace, TraceEntry
+from repro.system.config import paper_system_config
+from repro.system.simulator import simulate
+from repro.workloads.mixes import build_mix_traces
+
+from conftest import print_figure, run_once
+
+#: Channel counts of the scaling sweep.
+CHANNEL_COUNTS = (1, 2, 4)
+
+#: Minimum accepted bandwidth gain from 1 -> 2 channels (acceptance bound).
+MIN_TWO_CHANNEL_SPEEDUP = 1.5
+
+#: Random reads per core of the bandwidth-bound workload.
+STREAM_ACCESSES = 1500
+
+
+def bandwidth_bound_traces(num_cores: int = 4, accesses: int = STREAM_ACCESSES, seed: int = 7):
+    """Back-to-back random reads: every access is a row miss in a random bank.
+
+    Row misses cost ACT + RD + PRE on the channel command bus, so a single
+    channel saturates long before the cores' MSHRs do -- which is exactly the
+    regime in which extra channels pay off.
+    """
+    traces = []
+    for core in range(num_cores):
+        rng = random.Random(seed + core)
+        base = core * (1 << 27)
+        entries = [
+            TraceEntry(
+                gap_instructions=0,
+                address=base + (rng.randrange(1 << 26) // 64) * 64,
+            )
+            for _ in range(accesses)
+        ]
+        traces.append(Trace(f"randstream{core}", entries))
+    return traces
+
+
+def channel_scaling_rows():
+    rows = []
+    for channels in CHANNEL_COUNTS:
+        config = paper_system_config().with_overrides(
+            num_cores=4, channels=channels, attacker_cores=(0, 1, 2, 3)
+        )
+        result = simulate(config, bandwidth_bound_traces())
+        rows.append(
+            {
+                "channels": channels,
+                "cycles": result.cycles,
+                "reads": result.controller_stats["reads_served"],
+                "read_bw_bytes_per_cycle": round(
+                    result.read_bandwidth_bytes_per_cycle(), 2
+                ),
+                "per_channel_reads": "/".join(
+                    str(record["reads_served"]) for record in result.channel_stats
+                ),
+            }
+        )
+    return rows
+
+
+def test_read_bandwidth_scales_with_channels(benchmark):
+    rows = run_once(benchmark, channel_scaling_rows)
+    print_figure("Channel scale-out: aggregate read bandwidth", rows)
+
+    bandwidth = {row["channels"]: row["read_bw_bytes_per_cycle"] for row in rows}
+    speedup = bandwidth[2] / bandwidth[1]
+    print(f"--- 1 -> 2 channel read-bandwidth speedup: {speedup:.2f}x ---")
+    assert speedup >= MIN_TWO_CHANNEL_SPEEDUP
+    # More channels never hurt aggregate bandwidth on this workload.
+    assert bandwidth[4] >= bandwidth[2]
+
+
+def mechanism_completion_rows():
+    traces = build_mix_traces(
+        ["549.fotonik3d", "429.mcf"],
+        accesses_per_core=300,
+        seed=1,
+    )
+    rows = []
+    for mechanism in MECHANISM_NAMES:
+        config = paper_system_config(mechanism=mechanism, nrh=128).with_overrides(
+            num_cores=2, channels=2
+        )
+        result = simulate(config, traces)
+        assert result.cycles < config.max_cycles, f"{mechanism} hit the cycle limit"
+        assert all(ipc > 0 for ipc in result.core_ipcs), f"{mechanism} core starved"
+        assert len(result.channel_stats) == 2
+        rows.append(
+            {
+                "mechanism": mechanism,
+                "cycles": result.cycles,
+                "reads_ch0": result.channel_stats[0]["reads_served"],
+                "reads_ch1": result.channel_stats[1]["reads_served"],
+                "is_secure": result.is_secure,
+            }
+        )
+    return rows
+
+
+def test_every_mechanism_completes_on_two_channels(benchmark):
+    rows = run_once(benchmark, mechanism_completion_rows)
+    print_figure("Two-channel completion, all mechanisms (N_RH = 128)", rows)
+    assert len(rows) == len(MECHANISM_NAMES)

@@ -66,6 +66,30 @@ def _check_row(organization: DramOrganization, row: int, what: str = "row") -> N
         )
 
 
+def retarget_channel(trace: Trace, mapping: AddressMapping, channel: int) -> Trace:
+    """Move every access of ``trace`` to ``channel``.
+
+    Pattern builders emit channel-0 addresses; on a multi-channel system this
+    helper re-encodes each address with the ``channel`` field replaced, so an
+    attack aims at exactly one channel while leaving its bank/row geometry
+    intact.  Works for any bijective mapping (the decode/encode round-trip is
+    exact).
+    """
+    organization = mapping.organization
+    if not 0 <= channel < organization.channels:
+        raise ValueError(
+            f"channel {channel} out of range [0, {organization.channels})"
+        )
+    entries = [
+        replace(
+            entry,
+            address=mapping.encode(replace(mapping.decode(entry.address), channel=channel)),
+        )
+        for entry in trace
+    ]
+    return Trace(trace.name, entries)
+
+
 # --------------------------------------------------------------------------- #
 # Historical entry points (migrated from repro.workloads.attacker)
 # --------------------------------------------------------------------------- #
@@ -528,13 +552,22 @@ class AttackSpec:
     ``params`` holds *overrides* of the pattern's defaults as sorted
     (name, value) pairs, which keeps the spec hashable, picklable and
     JSON-serialisable -- the properties the sweep engine's job cache needs.
+
+    ``channel`` aims the compiled attack at one memory channel of a
+    multi-channel system (every builder emits channel-0 addresses; non-zero
+    targets are re-encoded by :func:`retarget_channel`).  The default of 0
+    is omitted from the cache payload, so every pre-existing single-channel
+    job key is preserved.
     """
 
     pattern: str
     params: Tuple[Tuple[str, int], ...] = ()
     seed: int = 0
+    channel: int = 0
 
     def __post_init__(self) -> None:
+        if self.channel < 0:
+            raise ValueError("channel must be non-negative")
         registered = pattern_by_name(self.pattern)
         params = tuple(sorted(dict(self.params).items()))
         unknown = set(dict(params)) - set(registered.default_params)
@@ -547,10 +580,19 @@ class AttackSpec:
 
     @classmethod
     def create(
-        cls, pattern: str, params: Optional[Mapping[str, int]] = None, seed: int = 0
+        cls,
+        pattern: str,
+        params: Optional[Mapping[str, int]] = None,
+        seed: int = 0,
+        channel: int = 0,
     ) -> "AttackSpec":
         """Build a spec from a plain parameter mapping."""
-        return cls(pattern=pattern, params=tuple((params or {}).items()), seed=seed)
+        return cls(
+            pattern=pattern,
+            params=tuple((params or {}).items()),
+            seed=seed,
+            channel=channel,
+        )
 
     @property
     def resolved_params(self) -> Dict[str, int]:
@@ -566,18 +608,25 @@ class AttackSpec:
         registry defaults changes the cache key of every spec relying on
         them -- stale results can never be served.
         """
-        return {
+        payload: Dict[str, object] = {
             "pattern": self.pattern,
             "params": self.resolved_params,
             "seed": self.seed,
         }
+        # Only channel-targeted specs carry the field, so the keys of every
+        # pre-existing (channel-0) spec -- and their cache entries -- are
+        # byte-identical.
+        if self.channel:
+            payload["channel"] = self.channel
+        return payload
 
     @property
     def label(self) -> str:
         """Compact human-readable description (CLI tables)."""
         overrides = ",".join(f"{k}={v}" for k, v in self.params)
         suffix = f"({overrides})" if overrides else ""
-        return f"{self.pattern}{suffix}"
+        target = f"@ch{self.channel}" if self.channel else ""
+        return f"{self.pattern}{suffix}{target}"
 
     def compile(
         self,
@@ -587,22 +636,28 @@ class AttackSpec:
         """Compile the spec into a memory-access trace."""
         mapping = mapping or mop_mapping(organization)
         builder = pattern_by_name(self.pattern).builder
-        return builder(organization, mapping, self.seed, **self.resolved_params)
+        trace = builder(organization, mapping, self.seed, **self.resolved_params)
+        if self.channel:
+            trace = retarget_channel(trace, mapping, self.channel)
+        return trace
 
 
 def default_search_specs(
-    patterns: Optional[Sequence[str]] = None, seed: int = 0
+    patterns: Optional[Sequence[str]] = None, seed: int = 0, channel: int = 0
 ) -> List[AttackSpec]:
     """The spec set the red-team search tries per (mechanism, N_RH) point.
 
     For each selected pattern this yields the default parameterisation plus
-    every registered search variant.
+    every registered search variant.  ``channel`` aims every spec at one
+    memory channel of a multi-channel system.
     """
     selected = pattern_names() if patterns is None else tuple(patterns)
     specs: List[AttackSpec] = []
     for name in selected:
         registered = pattern_by_name(name)
-        specs.append(AttackSpec(pattern=name, seed=seed))
+        specs.append(AttackSpec(pattern=name, seed=seed, channel=channel))
         for variant in registered.search_variants:
-            specs.append(AttackSpec(pattern=name, params=variant, seed=seed))
+            specs.append(
+                AttackSpec(pattern=name, params=variant, seed=seed, channel=channel)
+            )
     return specs

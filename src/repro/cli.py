@@ -47,6 +47,7 @@ from repro.experiments.cache import ResultCache, default_cache_dir
 from repro.experiments.figures import format_rows
 from repro.experiments.runner import ExperimentRunner, default_mixes
 from repro.experiments.sweep import SweepEngine, default_workers
+from repro.system.config import paper_system_config
 from repro.workloads.mixes import MIX_TYPES
 
 #: Mechanisms ``attack compare`` tabulates by default (one representative of
@@ -88,6 +89,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--accesses", type=int, default=1000, metavar="N",
         help="memory accesses per core (paper: 100M instructions)",
+    )
+    sweep.add_argument(
+        "--channels", type=int, default=1, metavar="N",
+        help="memory channels of the simulated system (default: 1, as in Table 2)",
     )
     sweep.add_argument("--seed", type=int, default=0, help="trace-generation seed")
     sweep.add_argument(
@@ -136,6 +141,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument("--seed", type=int, default=0, help="trace-generation seed")
     trace.add_argument(
+        "--channel", type=int, default=0, metavar="CH",
+        help="target memory channel of the compiled attack (default: 0)",
+    )
+    trace.add_argument(
+        "--channels", type=int, default=1, metavar="N",
+        help="memory channels of the addressed system (default: 1)",
+    )
+    trace.add_argument(
         "--out", default=None, metavar="PATH",
         help="save the compiled trace in the text format instead of printing stats",
     )
@@ -146,6 +159,14 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="N", help="RowHammer thresholds of the grid scan",
         )
         parser.add_argument("--seed", type=int, default=0, help="trace/mechanism seed")
+        parser.add_argument(
+            "--channels", type=int, default=1, metavar="N",
+            help="memory channels of the probed system (default: 1)",
+        )
+        parser.add_argument(
+            "--channel", type=int, default=0, metavar="CH",
+            help="channel the synthesised attacks target (default: 0)",
+        )
         parser.add_argument(
             "--no-refine", action="store_true",
             help="skip the bisection refinement of the empirical boundary",
@@ -216,8 +237,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     cache = _resolve_cache(args)
     workers = default_workers() if args.workers is None else args.workers
     engine = SweepEngine(cache=cache, workers=workers)
+    try:
+        base_config = paper_system_config().with_overrides(channels=args.channels)
+    except ValueError as error:
+        print(f"error: --channels: {error}", file=sys.stderr)
+        return 2
     runner = ExperimentRunner(
-        accesses_per_core=args.accesses, seed=args.seed, engine=engine
+        base_config=base_config,
+        accesses_per_core=args.accesses, seed=args.seed, engine=engine,
     )
     try:
         spec = runner.sweep_spec(args.mechanisms, args.nrh, mixes)
@@ -315,9 +342,13 @@ def _parse_overrides(pairs: Sequence[str]) -> Dict[str, int]:
 def _cmd_attack_trace(args: argparse.Namespace) -> int:
     try:
         spec = AttackSpec.create(
-            args.pattern, _parse_overrides(args.overrides), seed=args.seed
+            args.pattern, _parse_overrides(args.overrides), seed=args.seed,
+            channel=args.channel,
         )
-        trace = spec.compile()
+        organization = paper_system_config().with_overrides(
+            channels=args.channels
+        ).organization
+        trace = spec.compile(organization=organization)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -340,7 +371,10 @@ def _cmd_attack_trace(args: argparse.Namespace) -> int:
 def _redteam_engine(args: argparse.Namespace) -> RedTeamEngine:
     workers = default_workers() if args.workers is None else args.workers
     engine = SweepEngine(cache=_resolve_cache(args), workers=workers)
-    return RedTeamEngine(engine=engine, seed=args.seed)
+    base_config = paper_system_config().with_overrides(
+        channels=getattr(args, "channels", 1)
+    )
+    return RedTeamEngine(engine=engine, base_config=base_config, seed=args.seed)
 
 
 def _search_report_rows(report: RedTeamReport) -> List[dict]:
@@ -385,9 +419,23 @@ def _print_search_summary(report: RedTeamReport) -> None:
         print(f"agreement: {'no -- ' + disagreement if disagreement else 'yes'}")
 
 
+def _check_channel_args(args: argparse.Namespace) -> Optional[str]:
+    try:
+        paper_system_config().with_overrides(channels=args.channels)
+    except ValueError as error:
+        return f"--channels: {error}"
+    if not 0 <= args.channel < args.channels:
+        return f"--channel {args.channel} out of range [0, {args.channels})"
+    return None
+
+
 def _cmd_attack_search(args: argparse.Namespace) -> int:
+    error = _check_channel_args(args)
+    if error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     redteam = _redteam_engine(args)
-    specs = default_search_specs(args.patterns, seed=args.seed)
+    specs = default_search_specs(args.patterns, seed=args.seed, channel=args.channel)
 
     if args.dry_run:
         try:
@@ -397,9 +445,11 @@ def _cmd_attack_search(args: argparse.Namespace) -> int:
             return 2
         cache = redteam.engine.cache
         # A spec's access count is independent of N_RH: compile each distinct
-        # spec once instead of once per grid point.
+        # spec once instead of once per grid point.  Compile against the
+        # probed organization, or channel-targeted specs cannot encode.
+        organization = redteam.base_config.organization
         accesses = {
-            spec: spec.compile().memory_accesses
+            spec: spec.compile(organization=organization).memory_accesses
             for spec in {job.attack for job in jobs}
         }
         rows = [
@@ -424,7 +474,7 @@ def _cmd_attack_search(args: argparse.Namespace) -> int:
 
     try:
         report = redteam.search(
-            args.mechanism, args.nrh, patterns=args.patterns,
+            args.mechanism, args.nrh, specs=specs,
             refine=not args.no_refine,
         )
     except ValueError as error:
@@ -441,11 +491,16 @@ def _cmd_attack_search(args: argparse.Namespace) -> int:
 
 
 def _cmd_attack_compare(args: argparse.Namespace) -> int:
+    error = _check_channel_args(args)
+    if error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     redteam = _redteam_engine(args)
+    specs = default_search_specs(args.patterns, seed=args.seed, channel=args.channel)
     rows = []
     for mechanism in args.mechanisms:
         report = redteam.search(
-            mechanism, args.nrh, patterns=args.patterns,
+            mechanism, args.nrh, specs=specs,
             refine=not args.no_refine,
         )
         disagreement = report.disagreement

@@ -9,6 +9,21 @@ which keeps them trivially bijective (verified by property-based tests).
 A mapping is described by the order of address fields from the least
 significant bit upwards; every field's width is derived from the DRAM
 organization.
+
+Every mapping is *channel-aware*: with a multi-channel
+:class:`~repro.dram.organization.DramOrganization` the ``channel`` field
+consumes ``log2(channels)`` address bits (zero bits -- and therefore the
+exact single-channel layout -- when ``channels == 1``).  Two channel
+placements are offered per base mapping:
+
+* the default (``"MOP"``, ``"RoBaRaCoCh"``, ``"ABACuS"``) interleaves
+  channels at cache-line granularity -- the channel bits sit directly above
+  the line offset, so consecutive lines alternate channels and a streaming
+  core spreads its bandwidth across every channel, and
+* a row-interleaved variant (``"MOP-RI"``, ``"RoBaRaCoCh-RI"``,
+  ``"ABACuS-RI"``) places the channel bits above the row bits, so each
+  channel owns large contiguous regions -- useful for per-channel isolation
+  studies (e.g. pinning an attacker and its victims to different channels).
 """
 
 from __future__ import annotations
@@ -185,13 +200,49 @@ def abacus_mapping(org: DramOrganization) -> AddressMapping:
     )
 
 
+def row_interleaved(base: AddressMapping) -> AddressMapping:
+    """The row-interleaved channel variant of ``base``.
+
+    The ``channel`` field moves from just above the line offset to the most
+    significant position (above ``row``), so each channel owns contiguous
+    address regions instead of alternating at cache-line granularity.  The
+    permutation stays bijective, so decode/encode round-trips are preserved
+    for every channel count.
+    """
+    reordered = tuple(f for f in base.field_order if f != "channel") + ("channel",)
+    return AddressMapping(
+        organization=base.organization,
+        field_order=reordered,
+        name=f"{base.name}-RI",
+        column_low_bits=base.column_low_bits,
+    )
+
+
+#: Base mapping constructors, by name.
+_BASE_MAPPINGS = {
+    "MOP": mop_mapping,
+    "RoBaRaCoCh": robarracoch_mapping,
+    "ABACuS": abacus_mapping,
+}
+
+#: All mapping names accepted by :func:`mapping_by_name`: every base mapping
+#: plus its row-interleaved ``-RI`` channel variant.
+MAPPING_NAMES: Tuple[str, ...] = tuple(_BASE_MAPPINGS) + tuple(
+    f"{name}-RI" for name in _BASE_MAPPINGS
+)
+
+
 def mapping_by_name(name: str, org: DramOrganization) -> AddressMapping:
-    """Look up a mapping constructor by name."""
-    table = {
-        "MOP": mop_mapping,
-        "RoBaRaCoCh": robarracoch_mapping,
-        "ABACuS": abacus_mapping,
-    }
-    if name not in table:
-        raise ValueError(f"unknown address mapping {name!r}; expected one of {sorted(table)}")
-    return table[name](org)
+    """Look up a mapping constructor by name.
+
+    ``-RI`` suffixed names select the row-interleaved channel placement of
+    the corresponding base mapping (see :func:`row_interleaved`).
+    """
+    base_name, _, suffix = name.partition("-")
+    if base_name in _BASE_MAPPINGS and suffix == "RI":
+        return row_interleaved(_BASE_MAPPINGS[base_name](org))
+    if name not in _BASE_MAPPINGS:
+        raise ValueError(
+            f"unknown address mapping {name!r}; expected one of {sorted(MAPPING_NAMES)}"
+        )
+    return _BASE_MAPPINGS[name](org)

@@ -57,7 +57,12 @@ class ControllerStats:
 
 
 class MemoryController:
-    """A single-channel DDR5 memory controller."""
+    """A single-channel DDR5 memory controller.
+
+    Multi-channel systems instantiate one controller per channel behind a
+    :class:`~repro.controller.router.ChannelRouter`; each controller owns its
+    own device, queues, scheduler, refresh state and back-off protocol.
+    """
 
     def __init__(
         self,
@@ -104,11 +109,17 @@ class MemoryController:
         return len(self.write_queue) < self.write_queue_size
 
     def enqueue(self, request: MemoryRequest) -> bool:
-        """Decode and enqueue a demand request.  Returns False if full."""
+        """Decode and enqueue a demand request.  Returns False if full.
+
+        Requests already decoded upstream (the multi-channel
+        :class:`~repro.controller.router.ChannelRouter` decodes once to pick
+        the channel) are enqueued as-is.
+        """
         if not self.can_accept(request.request_type):
             return False
-        request.dram = self.mapping.decode(request.address)
-        request.bank_id = request.dram.flat_bank(self.organization)
+        if request.dram is None:
+            request.dram = self.mapping.decode(request.address)
+            request.bank_id = request.dram.flat_bank(self.organization)
         if request.is_read:
             self.read_queue.append(request)
         else:

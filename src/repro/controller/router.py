@@ -1,0 +1,88 @@
+"""Channel router: the fan-out point of the multi-channel memory system.
+
+:class:`ChannelRouter` sits between the LLC miss path and the per-channel
+:class:`~repro.controller.controller.MemoryController` instances.  It decodes
+each demand request's physical address exactly once (the mapping's ``channel``
+field selects the target channel), stamps the decoded coordinates onto the
+request, and forwards it to the owning controller.  Channels are fully
+independent DDR5 channels: each has its own command bus, so every channel may
+issue one command per DRAM cycle -- this is where the aggregate-bandwidth
+scaling of a multi-channel system comes from.
+
+For a single-channel system the router degenerates to a thin pass-through
+around the one controller, preserving the seed simulator's behaviour
+bit-for-bit (the golden regression tests pin this).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.controller.address_mapping import AddressMapping
+from repro.controller.controller import FAR_FUTURE, MemoryController
+from repro.controller.request import MemoryRequest
+
+
+class ChannelRouter:
+    """Routes demand requests to per-channel memory controllers."""
+
+    def __init__(
+        self, mapping: AddressMapping, controllers: Sequence[MemoryController]
+    ) -> None:
+        if not controllers:
+            raise ValueError("at least one memory controller is required")
+        self.mapping = mapping
+        self.controllers: List[MemoryController] = list(controllers)
+        expected = mapping.organization.channels
+        if len(self.controllers) != expected:
+            raise ValueError(
+                f"mapping addresses {expected} channels but "
+                f"{len(self.controllers)} controllers were provided"
+            )
+
+    @property
+    def num_channels(self) -> int:
+        return len(self.controllers)
+
+    # ------------------------------------------------------------------ #
+    # LLC-miss-path interface (same surface the cores already use)
+    # ------------------------------------------------------------------ #
+    def enqueue(self, request: MemoryRequest) -> bool:
+        """Decode, route and enqueue a demand request; False if the target
+        channel's queue is full."""
+        if request.dram is None:
+            request.dram = self.mapping.decode(request.address)
+            request.bank_id = request.dram.flat_bank(self.mapping.organization)
+        return self.controllers[request.dram.channel].enqueue(request)
+
+    def drain_completed(self) -> List[MemoryRequest]:
+        """Completed requests of every channel since the last call."""
+        completed: List[MemoryRequest] = []
+        for controller in self.controllers:
+            completed.extend(controller.drain_completed())
+        return completed
+
+    def pending_requests(self) -> int:
+        """Demand requests still queued or in flight on any channel."""
+        return sum(c.pending_requests() for c in self.controllers)
+
+    # ------------------------------------------------------------------ #
+    # Main per-cycle entry point
+    # ------------------------------------------------------------------ #
+    def tick(self, cycle: int) -> Tuple[bool, int]:
+        """Tick every channel at ``cycle``.
+
+        Each channel owns an independent command bus, so up to one command
+        per channel issues per cycle.  Returns ``(any_issued, next_hint)``
+        where ``next_hint`` is the earliest next-event hint across channels
+        (only meaningful when nothing issued anywhere).
+        """
+        issued_any = False
+        hint = FAR_FUTURE
+        for controller in self.controllers:
+            issued, channel_hint = controller.tick(cycle)
+            if issued:
+                issued_any = True
+            elif channel_hint < hint:
+                hint = channel_hint
+        return issued_any, (cycle + 1 if issued_any else hint)

@@ -8,7 +8,7 @@ module with 64 banks and 128K rows per bank.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 
 @dataclass(frozen=True)
@@ -51,6 +51,15 @@ class DramOrganization:
     row_size_bytes: int = 8192
     cacheline_bytes: int = 64
 
+    def __post_init__(self) -> None:
+        # The address mappings allocate log2(channels) bits to the channel
+        # field; a non-power-of-two count would decode addresses to channels
+        # that do not exist.
+        if self.channels <= 0 or self.channels & (self.channels - 1):
+            raise ValueError(
+                f"channels must be a positive power of two, got {self.channels}"
+            )
+
     @property
     def banks_per_rank(self) -> int:
         """Banks contained in one rank."""
@@ -70,6 +79,25 @@ class DramOrganization:
     def capacity_bytes(self) -> int:
         """Total channel capacity in bytes."""
         return self.total_rows * self.row_size_bytes
+
+    @property
+    def system_banks(self) -> int:
+        """Banks across the whole system (all channels)."""
+        return self.channels * self.total_banks
+
+    @property
+    def system_capacity_bytes(self) -> int:
+        """Total system capacity in bytes (all channels)."""
+        return self.channels * self.capacity_bytes
+
+    def with_channels(self, channels: int) -> "DramOrganization":
+        """Return a copy of this geometry scaled to ``channels`` channels.
+
+        ``channels`` must be a positive power of two (validated on
+        construction): the channel field of every address mapping is a bit
+        field, so other counts would decode to non-existent channels.
+        """
+        return replace(self, channels=channels)
 
     def flat_bank_index(self, rank: int, bankgroup: int, bank: int) -> int:
         """Flatten a (rank, bankgroup, bank) triple to a single index."""

@@ -264,7 +264,11 @@ def build_job_traces(job: SimJob) -> List[Trace]:
     traces: List[Trace] = []
     if job.attack_accesses:
         traces.append(
-            performance_attack_trace(num_accesses=job.attack_accesses, seed=job.seed)
+            performance_attack_trace(
+                num_accesses=job.attack_accesses,
+                organization=job.config.organization,
+                seed=job.seed,
+            )
         )
     if job.attack is not None:
         traces.append(job.attack.compile(organization=job.config.organization))
@@ -285,7 +289,9 @@ def execute_job(job: SimJob) -> SimulationResult:
     oracle = None
     if job.attack is not None:
         oracle = DisturbanceOracle(
-            nrh=job.config.nrh, blast_radius=job.config.blast_radius
+            nrh=job.config.nrh,
+            blast_radius=job.config.blast_radius,
+            num_channels=job.config.organization.channels,
         )
     return simulate(
         job.config,

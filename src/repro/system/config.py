@@ -66,13 +66,36 @@ class SystemConfig:
     #: Hard limit on simulated DRAM cycles (safety net for runaway configs).
     max_cycles: int = 200_000_000
 
+    @property
+    def channels(self) -> int:
+        """Number of independent memory channels of the simulated system.
+
+        The knob lives on the DRAM organization (which the cache key already
+        covers), so exposing it here adds no new config field and keeps every
+        pre-existing single-channel cache key byte-identical.
+        """
+        return self.organization.channels
+
     def with_mechanism(self, mechanism: str, nrh: Optional[int] = None) -> "SystemConfig":
         """Return a copy configured for another mechanism / threshold."""
         return replace(self, mechanism=mechanism, nrh=self.nrh if nrh is None else nrh)
 
+    def with_channels(self, channels: int) -> "SystemConfig":
+        """Return a copy scaled to ``channels`` memory channels."""
+        return replace(self, organization=self.organization.with_channels(channels))
+
     def with_overrides(self, **kwargs) -> "SystemConfig":
-        """Return a copy with arbitrary fields replaced."""
-        return replace(self, **kwargs)
+        """Return a copy with arbitrary fields replaced.
+
+        ``channels`` is accepted as a virtual field and forwarded to
+        :meth:`with_channels`, so sweep and CLI override paths can scale the
+        channel count without knowing it lives on the organization.
+        """
+        channels = kwargs.pop("channels", None)
+        config = replace(self, **kwargs) if kwargs else self
+        if channels is not None:
+            config = config.with_channels(channels)
+        return config
 
 
 def paper_system_config(mechanism: str = "None", nrh: int = 1024, **overrides) -> SystemConfig:

@@ -4,13 +4,19 @@ The paper evaluates system performance with the *weighted speedup* metric
 (normalised to a baseline without any read-disturbance mitigation) and the
 performance-attack study additionally reports the *maximum slowdown* of a
 single application.
+
+Multi-channel systems additionally report one stats record per channel
+(:data:`SimulationResult.channel_stats`); :func:`aggregate_channel_stats`
+folds those into system totals and is the single place the aggregation
+identities (``sum(per-channel) == system total``) are defined, so the
+simulator and the tests cannot drift apart.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 
 def weighted_speedup(shared_ipcs: Sequence[float], alone_ipcs: Sequence[float]) -> float:
@@ -83,6 +89,63 @@ def standard_error(values: Sequence[float]) -> float:
     return math.sqrt(variance / n)
 
 
+#: Additive per-channel controller counters (summed by the aggregation; the
+#: non-additive ``average_read_latency`` is recomputed from the sums).
+CHANNEL_COUNTER_KEYS = (
+    "reads_served",
+    "writes_served",
+    "row_hits",
+    "row_misses",
+    "row_conflicts",
+    "refreshes",
+    "rfms",
+    "backoffs_observed",
+    "preventive_refresh_rows",
+    "total_read_latency",
+)
+
+
+def aggregate_channel_stats(
+    channel_stats: Sequence[Mapping[str, object]],
+) -> Dict[str, float]:
+    """Fold per-channel stats records into system totals.
+
+    Args:
+        channel_stats: one record per channel, as produced by the simulator
+            (see :data:`SimulationResult.channel_stats`): the
+            :data:`CHANNEL_COUNTER_KEYS` counters plus ``command_counts``,
+            ``energy_nj`` and ``energy_breakdown``.
+
+    Returns:
+        A flat dict with every counter summed, ``command_counts`` and
+        ``energy_breakdown`` merged key-wise, total ``energy_nj``, and the
+        recomputed system-wide ``average_read_latency``.
+    """
+    if not channel_stats:
+        raise ValueError("at least one channel record is required")
+    totals: Dict[str, float] = {key: 0 for key in CHANNEL_COUNTER_KEYS}
+    command_counts: Dict[str, int] = {}
+    energy_breakdown: Dict[str, float] = {}
+    energy_nj = 0.0
+    for record in channel_stats:
+        for key in CHANNEL_COUNTER_KEYS:
+            totals[key] += record[key]
+        for mnemonic, count in record.get("command_counts", {}).items():
+            command_counts[mnemonic] = command_counts.get(mnemonic, 0) + count
+        for component, value in record.get("energy_breakdown", {}).items():
+            energy_breakdown[component] = energy_breakdown.get(component, 0.0) + value
+        energy_nj += record.get("energy_nj", 0.0)
+    totals["average_read_latency"] = (
+        totals["total_read_latency"] / totals["reads_served"]
+        if totals["reads_served"]
+        else 0.0
+    )
+    totals["command_counts"] = command_counts
+    totals["energy_breakdown"] = energy_breakdown
+    totals["energy_nj"] = energy_nj
+    return totals
+
+
 @dataclass
 class SimulationResult:
     """Everything a single system simulation produces."""
@@ -99,11 +162,25 @@ class SimulationResult:
     energy_nj: float
     energy_breakdown: Dict[str, float]
     is_secure: bool = True
+    #: One record per memory channel (None on results recorded before the
+    #: multi-channel scale-out; those deserialise from cache unchanged).
+    channel_stats: Optional[List[Dict[str, object]]] = None
+
+    @property
+    def num_channels(self) -> int:
+        """Memory channels of the simulated system."""
+        return len(self.channel_stats) if self.channel_stats else 1
 
     @property
     def total_instructions_per_cycle(self) -> float:
         """Aggregate IPC across all cores (in core cycles)."""
         return sum(self.core_ipcs)
+
+    def read_bandwidth_bytes_per_cycle(self, line_bytes: int = 64) -> float:
+        """Aggregate read bandwidth in bytes per DRAM cycle."""
+        if self.cycles == 0:
+            return 0.0
+        return self.controller_stats.get("reads_served", 0) * line_bytes / self.cycles
 
     def backoffs_per_million_cycles(self) -> float:
         """Back-off rate, matching the paper's reporting unit."""

@@ -1,19 +1,32 @@
 """The full-system simulator.
 
 :class:`SystemSimulator` wires the trace-driven cores, the shared LLC, the
-memory controller, the DRAM device and the selected read-disturbance
-mitigation mechanism together, and runs them to completion.  The simulator is
-cycle-accurate at DRAM-command granularity but event-driven in time: it skips
-cycles in which no component can make progress, which keeps pure-Python
-simulations tractable while preserving command-level timing fidelity.
+per-channel memory controllers, the DRAM devices and the selected
+read-disturbance mitigation mechanism together, and runs them to completion.
+The simulator is cycle-accurate at DRAM-command granularity but event-driven
+in time: it skips cycles in which no component can make progress, which keeps
+pure-Python simulations tractable while preserving command-level timing
+fidelity.
+
+The memory system scales out horizontally: ``config.organization.channels``
+independent channels are built, each with its own
+:class:`~repro.controller.controller.MemoryController`,
+:class:`~repro.dram.device.DramDevice` and mitigation-mechanism instance
+(mitigation state is per-channel hardware, so each channel tracks only its
+own activations).  The LLC miss path routes each request to its channel
+through a :class:`~repro.controller.router.ChannelRouter`; every channel owns
+an independent command bus, which is what makes aggregate bandwidth scale
+with the channel count.  A single-channel system behaves bit-identically to
+the original hardwired design (pinned by the golden regression tests).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 from repro.controller.address_mapping import mapping_by_name
 from repro.controller.controller import MemoryController
+from repro.controller.router import ChannelRouter
 from repro.core.factory import MechanismSetup, build_mechanism
 from repro.cpu.cache import Cache
 from repro.cpu.core import Core
@@ -22,7 +35,11 @@ from repro.dram.device import DramDevice
 from repro.dram.timing import ddr5_3200an
 from repro.energy.drampower import DEFAULT_ENERGY_MODEL, EnergyModel
 from repro.system.config import SystemConfig
-from repro.system.metrics import SimulationResult
+from repro.system.metrics import (
+    CHANNEL_COUNTER_KEYS,
+    SimulationResult,
+    aggregate_channel_stats,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (attacks -> sweep)
     from repro.attacks.oracle import DisturbanceOracle
@@ -53,28 +70,44 @@ class SystemSimulator:
         self.oracle = oracle
 
         organization = config.organization
-        self.setup: MechanismSetup = build_mechanism(
-            config.mechanism,
-            nrh=config.nrh,
-            num_banks=organization.total_banks,
-            seed=config.seed,
-        )
+        self.num_channels = organization.channels
+        # One mechanism instance per channel: counter tables, back-off state
+        # and (for PARA) the RNG are per-channel hardware.  Channel seeds are
+        # decorrelated; channel 0 keeps the config seed, so single-channel
+        # systems are unchanged.
+        self.setups: List[MechanismSetup] = [
+            build_mechanism(
+                config.mechanism,
+                nrh=config.nrh,
+                num_banks=organization.total_banks,
+                seed=config.seed + channel,
+            )
+            for channel in range(self.num_channels)
+        ]
+        self.setup: MechanismSetup = self.setups[0]
         timing = ddr5_3200an(
             prac=self.setup.use_prac_timings,
             legacy_prac_timings=(
                 config.legacy_prac_timings and self.setup.use_prac_timings
             ),
         )
-        self.device = DramDevice(organization, timing, mitigation=self.setup.on_die)
+        self.devices: List[DramDevice] = [
+            DramDevice(organization, timing, mitigation=setup.on_die)
+            for setup in self.setups
+        ]
         mapping = mapping_by_name(config.address_mapping, organization)
-        self.controller = MemoryController(
-            device=self.device,
-            mapping=mapping,
-            mechanism=self.setup.controller,
-            read_queue_size=config.read_queue_size,
-            write_queue_size=config.write_queue_size,
-            scheduler_cap=config.scheduler_cap,
-        )
+        self.controllers: List[MemoryController] = [
+            MemoryController(
+                device=device,
+                mapping=mapping,
+                mechanism=setup.controller,
+                read_queue_size=config.read_queue_size,
+                write_queue_size=config.write_queue_size,
+                scheduler_cap=config.scheduler_cap,
+            )
+            for device, setup in zip(self.devices, self.setups)
+        ]
+        self.router = ChannelRouter(mapping, self.controllers)
         self.llc = Cache(
             size_bytes=config.llc_size_bytes,
             associativity=config.llc_associativity,
@@ -97,11 +130,40 @@ class SystemSimulator:
         self.cycle = 0
 
         if self.oracle is not None:
+            if self.oracle.num_channels != self.num_channels:
+                raise ValueError(
+                    f"oracle tracks {self.oracle.num_channels} channel(s) but "
+                    f"the system has {self.num_channels}; construct it with "
+                    f"num_channels=config.organization.channels"
+                )
             # Ground-truth observation: every ACT, plus every victim refresh
-            # any installed mechanism performs or requests.
-            self.device.add_activation_listener(self.oracle.on_activate)
-            for mechanism in self.setup.mechanisms():
-                mechanism.add_mitigation_listener(self.oracle.on_victims_refreshed)
+            # any installed mechanism performs or requests -- tagged with the
+            # originating channel so cross-channel isolation is provable.
+            for channel, device in enumerate(self.devices):
+                device.add_activation_listener(self._oracle_act_sink(channel))
+            for channel, setup in enumerate(self.setups):
+                for mechanism in setup.mechanisms():
+                    mechanism.add_mitigation_listener(
+                        self._oracle_refresh_sink(channel)
+                    )
+
+    def _oracle_act_sink(self, channel: int) -> Callable[[int, int, int], None]:
+        oracle = self.oracle
+
+        def sink(bank_id: int, row: int, cycle: int) -> None:
+            oracle.on_activate(bank_id, row, cycle, channel=channel)
+
+        return sink
+
+    def _oracle_refresh_sink(self, channel: int) -> Callable[..., None]:
+        oracle = self.oracle
+
+        def sink(bank_id: int, aggressor_row, num_rows: int, cycle: int) -> None:
+            oracle.on_victims_refreshed(
+                bank_id, aggressor_row, num_rows, cycle, channel=channel
+            )
+
+        return sink
 
     # ------------------------------------------------------------------ #
     # Main loop
@@ -110,15 +172,15 @@ class SystemSimulator:
         """Run the simulation until every core retires its target."""
         cycle = self.cycle
         cores = self.cores
-        controller = self.controller
+        router = self.router
         max_cycles = self.config.max_cycles
 
         while True:
             for core in cores:
-                while core.try_issue(cycle, controller):
+                while core.try_issue(cycle, router):
                     pass
-            issued, hint = controller.tick(cycle)
-            completed = controller.drain_completed()
+            issued, hint = router.tick(cycle)
+            completed = router.drain_completed()
             for request in completed:
                 if request.is_read:
                     cores[request.core_id].notify_completion(request, cycle)
@@ -157,25 +219,26 @@ class SystemSimulator:
     # ------------------------------------------------------------------ #
     # Result assembly
     # ------------------------------------------------------------------ #
-    def _build_result(self, cycles: int) -> SimulationResult:
-        mitigation_stats: Dict[str, int] = {}
+    def _channel_record(self, channel: int, cycles: int) -> Dict[str, object]:
+        """The per-channel stats record of one channel."""
+        setup = self.setups[channel]
+        device = self.devices[channel]
+        stats = self.controllers[channel].stats
+        channel_mitigation: Dict[str, int] = {}
         borrowed_rows = 0
-        for mechanism in self.setup.mechanisms():
+        for mechanism in setup.mechanisms():
             for key, value in mechanism.stats.as_dict().items():
-                mitigation_stats[key] = mitigation_stats.get(key, 0) + value
+                channel_mitigation[key] = channel_mitigation.get(key, 0) + value
             borrowed_rows += mechanism.stats.borrowed_refreshes
-        if self.oracle is not None:
-            mitigation_stats.update(self.oracle.stats_dict())
-
         breakdown = self.energy_model.compute(
-            command_counts=self.device.command_counts,
+            command_counts=device.command_counts,
             cycles=cycles,
-            act_energy_multiplier=self.setup.act_energy_multiplier,
-            internal_victim_rows=self.device.internal_victim_rows,
+            act_energy_multiplier=setup.act_energy_multiplier,
+            internal_victim_rows=device.internal_victim_rows,
             borrowed_refresh_rows=borrowed_rows,
         )
-        stats = self.controller.stats
-        controller_stats = {
+        return {
+            "channel": channel,
             "reads_served": stats.reads_served,
             "writes_served": stats.writes_served,
             "row_hits": stats.row_hits,
@@ -185,9 +248,37 @@ class SystemSimulator:
             "rfms": stats.rfms,
             "backoffs_observed": stats.backoffs_observed,
             "preventive_refresh_rows": stats.preventive_refresh_rows,
+            "total_read_latency": stats.total_read_latency,
             "average_read_latency": stats.average_read_latency(),
-            "llc_miss_rate": self.llc.stats.miss_rate,
+            "command_counts": dict(device.command_counts),
+            "mitigation_stats": channel_mitigation,
+            "energy_nj": breakdown.total,
+            "energy_breakdown": breakdown.as_dict(),
         }
+
+    def _build_result(self, cycles: int) -> SimulationResult:
+        channel_records = [
+            self._channel_record(channel, cycles)
+            for channel in range(self.num_channels)
+        ]
+        totals = aggregate_channel_stats(channel_records)
+
+        mitigation_stats: Dict[str, int] = {}
+        for record in channel_records:
+            for key, value in record["mitigation_stats"].items():
+                mitigation_stats[key] = mitigation_stats.get(key, 0) + value
+        if self.oracle is not None:
+            mitigation_stats.update(self.oracle.stats_dict())
+
+        # The raw latency sum stays per-channel only; system-wide it is
+        # reported as the read-weighted average (matching the seed layout).
+        controller_stats = {
+            key: totals[key]
+            for key in CHANNEL_COUNTER_KEYS
+            if key != "total_read_latency"
+        }
+        controller_stats["average_read_latency"] = totals["average_read_latency"]
+        controller_stats["llc_miss_rate"] = self.llc.stats.miss_rate
         return SimulationResult(
             mechanism=self.config.mechanism,
             nrh=self.config.nrh,
@@ -195,12 +286,13 @@ class SystemSimulator:
             cycles=cycles,
             core_ipcs=[core.ipc() for core in self.cores],
             core_names=[trace.name for trace in self.traces],
-            command_counts=dict(self.device.command_counts),
+            command_counts=totals["command_counts"],
             controller_stats=controller_stats,
             mitigation_stats=mitigation_stats,
-            energy_nj=breakdown.total,
-            energy_breakdown=breakdown.as_dict(),
+            energy_nj=totals["energy_nj"],
+            energy_breakdown=totals["energy_breakdown"],
             is_secure=self.setup.is_secure,
+            channel_stats=channel_records,
         )
 
 

@@ -175,7 +175,11 @@ class TestWaveWrapAround:
 
 class TestDeprecationShim:
     def test_old_import_path_still_works(self):
-        from repro.workloads import attacker
+        import sys
+
+        sys.modules.pop("repro.workloads.attacker", None)
+        with pytest.warns(DeprecationWarning, match="repro.attacks"):
+            from repro.workloads import attacker
 
         assert attacker.wave_attack_trace is wave_attack_trace
         assert attacker.wave_attack_addresses is wave_attack_addresses
@@ -185,6 +189,15 @@ class TestDeprecationShim:
 
         with pytest.warns(DeprecationWarning, match="repro.attacks"):
             importlib.reload(attacker)
+
+    def test_shim_warning_is_promoted_to_error_under_pytest(self):
+        """pytest.ini turns the shim's DeprecationWarning into an error, so
+        no test (or fixture) can silently depend on the deprecated path."""
+        import sys
+
+        sys.modules.pop("repro.workloads.attacker", None)
+        with pytest.raises(DeprecationWarning, match="repro.attacks"):
+            import repro.workloads.attacker  # noqa: F401
 
     def test_workloads_package_reexports_without_warning(self):
         import warnings

@@ -1,0 +1,57 @@
+"""Documentation health checks.
+
+Mirrors the CI docs step locally: every relative Markdown link must resolve,
+and the user-facing entry documents must exist and mention the subsystems
+they promise to cover.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CHECKER = REPO_ROOT / "tools" / "check_links.py"
+
+
+class TestMarkdownLinks:
+    def test_all_relative_links_resolve(self):
+        completed = subprocess.run(
+            [sys.executable, str(CHECKER), str(REPO_ROOT)],
+            capture_output=True, text=True,
+        )
+        assert completed.returncode == 0, completed.stdout + completed.stderr
+
+    def test_checker_detects_broken_links(self, tmp_path):
+        (tmp_path / "doc.md").write_text("see [missing](nowhere.md)")
+        completed = subprocess.run(
+            [sys.executable, str(CHECKER), str(tmp_path)],
+            capture_output=True, text=True,
+        )
+        assert completed.returncode == 1
+        assert "nowhere.md" in completed.stdout
+
+
+class TestEntryDocuments:
+    def test_readme_exists_and_covers_the_basics(self):
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        for needle in ("python -m repro", "pytest", "docs/ARCHITECTURE.md", "channels"):
+            assert needle in readme, f"README.md is missing {needle!r}"
+
+    def test_architecture_doc_covers_the_layers(self):
+        architecture = (REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text(
+            encoding="utf-8"
+        )
+        for needle in (
+            "ChannelRouter", "MemoryController", "DramDevice", "channel",
+            "EXPERIMENTS.md", "ATTACKS.md",
+        ):
+            assert needle in architecture, f"ARCHITECTURE.md is missing {needle!r}"
+
+    def test_experiment_and_attack_docs_mention_channels_knob(self):
+        experiments = (REPO_ROOT / "docs" / "EXPERIMENTS.md").read_text(
+            encoding="utf-8"
+        )
+        attacks = (REPO_ROOT / "docs" / "ATTACKS.md").read_text(encoding="utf-8")
+        assert "--channels" in experiments
+        assert "--channel" in attacks
+        assert "repro.workloads.attacker" in attacks  # deprecation shim note

@@ -9,8 +9,8 @@ import pytest
 
 from repro.core.factory import MECHANISM_NAMES
 from repro.system.config import appendix_e_system_config, paper_system_config
+from repro.attacks.patterns import performance_attack_trace
 from repro.system.simulator import SystemSimulator, simulate
-from repro.workloads.attacker import performance_attack_trace
 from repro.workloads.mixes import build_mix_traces
 from repro.workloads.synthetic import generate_trace
 

@@ -2,13 +2,13 @@
 
 import pytest
 
-from repro.controller.address_mapping import mop_mapping
-from repro.dram.organization import PAPER_ORGANIZATION
-from repro.workloads.attacker import (
+from repro.attacks.patterns import (
     performance_attack_trace,
     wave_attack_addresses,
     wave_attack_trace,
 )
+from repro.controller.address_mapping import mop_mapping
+from repro.dram.organization import PAPER_ORGANIZATION
 from repro.workloads.mixes import MIX_TYPES, build_mix_traces, workload_mixes
 from repro.workloads.synthetic import (
     APP_PROFILES,

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Check that relative links in the repository's Markdown files resolve.
+
+Scans every ``*.md`` file under the repository root (skipping dot-directories
+and caches) for inline Markdown links ``[text](target)`` and verifies that
+each *relative* target exists on disk.  External links (``http(s)://``,
+``mailto:``) and pure in-page anchors (``#section``) are skipped; a relative
+target may carry an anchor suffix, which is stripped before the existence
+check.
+
+Exit status: 0 when every link resolves, 1 otherwise (one diagnostic line per
+broken link) -- suitable as a CI step and callable from the test suite.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+#: Inline Markdown link: [text](target).  Images ![alt](target) match too via
+#: the optional leading "!".
+LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Directories never scanned (caches, VCS internals, virtualenvs).
+SKIPPED_DIRS = {".git", ".repro-cache", ".ci-cache", "__pycache__", ".venv", "node_modules"}
+
+#: Generated retrieval artifacts (paper extraction leaves dangling figure
+#: references in them); only hand-written documentation is checked.
+SKIPPED_FILES = {"PAPER.md", "PAPERS.md", "SNIPPETS.md"}
+
+#: Link schemes that are not local files.
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files(root: Path) -> Iterator[Path]:
+    """Every ``*.md`` file under ``root``, skipping ignored directories."""
+    for path in sorted(root.rglob("*.md")):
+        if any(part in SKIPPED_DIRS for part in path.parts):
+            continue
+        if path.name in SKIPPED_FILES:
+            continue
+        yield path
+
+
+def extract_links(text: str) -> List[str]:
+    """All inline link targets of a Markdown document."""
+    return LINK_PATTERN.findall(text)
+
+
+def broken_links(root: Path) -> List[Tuple[Path, str]]:
+    """All (file, target) pairs whose relative target does not resolve."""
+    broken: List[Tuple[Path, str]] = []
+    for markdown in markdown_files(root):
+        for target in extract_links(markdown.read_text(encoding="utf-8")):
+            if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
+                continue
+            local = target.split("#", 1)[0]
+            if not local:
+                continue
+            resolved = (markdown.parent / local).resolve()
+            if not resolved.exists():
+                broken.append((markdown, target))
+    return broken
+
+
+def main(argv: List[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parent.parent
+    problems = broken_links(root)
+    checked = len(list(markdown_files(root)))
+    for markdown, target in problems:
+        print(f"{markdown.relative_to(root)}: broken relative link -> {target}")
+    if problems:
+        print(f"{len(problems)} broken link(s) across {checked} Markdown files")
+        return 1
+    print(f"all relative links resolve across {checked} Markdown files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
