@@ -1,0 +1,257 @@
+#!/usr/bin/env python3
+"""Hot-path wall-clock benchmark for the event-horizon simulation engine.
+
+Times the *reference workload set* -- a fixed two-core mix under all twelve
+mechanisms on one and two memory channels -- end to end on the live
+simulator (no result cache: this measures the engine, not the cache), and
+maintains ``BENCH_hotpath.json``:
+
+* ``fingerprints`` -- pinned golden metrics (cycles / IPCs / energy / REF
+  and RFM counts) per workload.  Every run re-checks them, so a perf change
+  that shifts any simulated number fails loudly here (wall-clock may move,
+  results may not).
+* ``reference`` -- the committed quick-set wall-clock this machine class is
+  compared against; CI fails when the quick set regresses by more than
+  ``--tolerance`` (default 30%, env ``REPRO_BENCH_TOLERANCE``).
+* ``seed_engine`` -- the recorded wall-clock of the pre-event-horizon seed
+  engine on the same workload set (measured once while both engines existed
+  in the tree), giving the speedup trajectory its anchor: the event-horizon
+  engine must stay >= 2x faster than that recording.
+* ``trajectory`` -- one appended record per ``--update`` run, so the bench
+  history travels with the repository.
+
+Usage::
+
+    python benchmarks/bench_hotpath.py             # full set + checks
+    python benchmarks/bench_hotpath.py --quick     # CI smoke subset
+    python benchmarks/bench_hotpath.py --update    # re-record the JSON
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Dict, List, Optional, Tuple
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.core.factory import MECHANISM_NAMES
+from repro.experiments.sweep import build_job_traces, mechanism_job
+from repro.system.config import paper_system_config
+from repro.system.simulator import simulate
+
+BENCH_JSON = os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_hotpath.json")
+
+APPS = ("429.mcf", "401.bzip2")
+ACCESSES = 1500
+NRH = 64
+
+#: The CI smoke subset: cheap, but covers a plain, an on-die (PRAC timing
+#: path + back-off) and a controller-side (RFM path) mechanism.
+QUICK_WORKLOADS: Tuple[Tuple[str, int], ...] = (
+    ("None", 1),
+    ("PRAC-4", 1),
+    ("PRFM", 1),
+    ("PRAC-4", 2),
+)
+
+
+def reference_workloads(quick: bool) -> List[Tuple[str, int]]:
+    if quick:
+        return list(QUICK_WORKLOADS)
+    return [
+        (mechanism, channels)
+        for channels in (1, 2)
+        for mechanism in MECHANISM_NAMES
+    ]
+
+
+def workload_key(mechanism: str, channels: int) -> str:
+    return f"{mechanism}/ch{channels}"
+
+
+def fingerprint(result) -> Dict[str, object]:
+    """The golden metrics a perf change must not move."""
+    return {
+        "cycles": result.cycles,
+        "core_ipcs": result.core_ipcs,
+        "energy_nj": result.energy_nj,
+        "reads_served": result.controller_stats["reads_served"],
+        "refreshes": result.controller_stats["refreshes"],
+        "rfms": result.controller_stats["rfms"],
+    }
+
+
+def run_workload(
+    mechanism: str, channels: int, strict_tick: bool = False
+) -> Tuple[float, Dict[str, object]]:
+    base = paper_system_config().with_overrides(channels=channels)
+    job = mechanism_job(base, APPS, mechanism, NRH, ACCESSES)
+    traces = build_job_traces(job)
+    start = time.perf_counter()
+    result = simulate(
+        job.config, traces, workload_name=job.workload_name, strict_tick=strict_tick
+    )
+    elapsed = time.perf_counter() - start
+    return elapsed, fingerprint(result)
+
+
+def run_set(quick: bool) -> Tuple[Dict[str, float], Dict[str, Dict[str, object]]]:
+    seconds: Dict[str, float] = {}
+    fingerprints: Dict[str, Dict[str, object]] = {}
+    for mechanism, channels in reference_workloads(quick):
+        key = workload_key(mechanism, channels)
+        elapsed, fp = run_workload(mechanism, channels)
+        seconds[key] = elapsed
+        fingerprints[key] = fp
+        print(f"  {key:<16} {elapsed:7.3f}s  cycles={fp['cycles']}")
+    return seconds, fingerprints
+
+
+def load_bench() -> Dict[str, object]:
+    with open(BENCH_JSON) as handle:
+        return json.load(handle)
+
+
+def check_fingerprints(
+    recorded: Dict[str, Dict[str, object]],
+    measured: Dict[str, Dict[str, object]],
+) -> List[str]:
+    errors = []
+    for key, fp in measured.items():
+        expected = recorded.get(key)
+        if expected is None:
+            errors.append(f"{key}: no recorded fingerprint (run with --update)")
+        elif expected != fp:
+            errors.append(f"{key}: golden metrics moved: {expected} != {fp}")
+    return errors
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke subset only (the regression-gated workloads)",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="re-record fingerprints/reference and append to the trajectory",
+    )
+    parser.add_argument(
+        "--no-check", action="store_true",
+        help="measure and print only; skip fingerprint and regression gates",
+    )
+    parser.add_argument(
+        "--strict-compare", action="store_true",
+        help="also time the strict-tick reference path on the quick set",
+    )
+    parser.add_argument(
+        "--relative-gate", type=float, default=None, metavar="MIN_SPEEDUP",
+        help="machine-independent gate: fail unless the event-horizon path "
+             "is at least MIN_SPEEDUP x faster than the strict-tick path on "
+             "the quick set, measured in the same run (implies "
+             "--strict-compare); use in CI where absolute wall-clock "
+             "depends on the runner hardware",
+    )
+    parser.add_argument(
+        "--tolerance", type=float,
+        default=float(os.environ.get("REPRO_BENCH_TOLERANCE", "0.30")),
+        help="allowed quick-set wall-clock regression vs the committed "
+             "reference (fraction, default 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    bench = load_bench()
+    label = "quick set" if args.quick else "full reference set"
+    print(f"Timing {label} ({ACCESSES} accesses/core, N_RH={NRH}, {'+'.join(APPS)}):")
+    seconds, fingerprints = run_set(args.quick)
+    total = sum(seconds.values())
+    quick_total = sum(seconds[workload_key(m, c)] for m, c in QUICK_WORKLOADS
+                      if workload_key(m, c) in seconds)
+    print(f"total: {total:.2f}s  (quick subset: {quick_total:.2f}s)")
+
+    seed = bench.get("seed_engine", {})
+    if not args.quick and seed.get("total_seconds"):
+        speedup = seed["total_seconds"] / total
+        print(
+            f"speedup vs recorded seed engine "
+            f"({seed['total_seconds']:.2f}s): {speedup:.2f}x"
+        )
+
+    strict_speedup = None
+    if args.strict_compare or args.relative_gate is not None:
+        strict_total = 0.0
+        for mechanism, channels in QUICK_WORKLOADS:
+            elapsed, _ = run_workload(mechanism, channels, strict_tick=True)
+            strict_total += elapsed
+        strict_speedup = strict_total / quick_total
+        print(
+            f"strict-tick quick set: {strict_total:.2f}s "
+            f"(event-horizon skipping: {strict_speedup:.2f}x faster)"
+        )
+
+    if args.update:
+        bench.setdefault("fingerprints", {}).update(fingerprints)
+        bench["reference"] = {
+            "quick_seconds": quick_total,
+            "workloads": {k: seconds[k] for k in seconds},
+            "recorded_on": platform.platform(),
+            "python": platform.python_version(),
+            "recorded_at": time.strftime("%Y-%m-%d"),
+        }
+        bench.setdefault("trajectory", []).append(
+            {
+                "date": time.strftime("%Y-%m-%d"),
+                "quick_seconds": round(quick_total, 3),
+                "total_seconds": round(total, 3) if not args.quick else None,
+                "python": platform.python_version(),
+            }
+        )
+        with open(BENCH_JSON, "w") as handle:
+            json.dump(bench, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"re-recorded {BENCH_JSON}")
+        return 0
+
+    if args.no_check:
+        return 0
+
+    failures = check_fingerprints(bench.get("fingerprints", {}), fingerprints)
+    if args.relative_gate is not None:
+        verdict = "OK" if strict_speedup >= args.relative_gate else "REGRESSION"
+        print(
+            f"relative gate: event path {strict_speedup:.2f}x faster than "
+            f"strict tick (floor {args.relative_gate:.2f}x): {verdict}"
+        )
+        if strict_speedup < args.relative_gate:
+            failures.append(
+                f"event-horizon skipping degraded: only {strict_speedup:.2f}x "
+                f"faster than strict tick (floor {args.relative_gate:.2f}x)"
+            )
+    reference = bench.get("reference", {})
+    committed = reference.get("quick_seconds")
+    if committed:
+        limit = committed * (1.0 + args.tolerance)
+        verdict = "OK" if quick_total <= limit else "REGRESSION"
+        print(
+            f"quick-set gate: {quick_total:.2f}s vs committed "
+            f"{committed:.2f}s (limit {limit:.2f}s): {verdict}"
+        )
+        if quick_total > limit:
+            failures.append(
+                f"quick set regressed: {quick_total:.2f}s > {limit:.2f}s "
+                f"({args.tolerance:.0%} over the committed {committed:.2f}s)"
+            )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,11 +16,26 @@ The controller issues at most one DRAM command per cycle (single command
 bus).  ``tick`` returns whether a command was issued plus a hint of the next
 cycle at which the controller could do useful work, which the system
 simulator uses to skip idle cycles.
+
+Hot-path design (the event-horizon engine):
+
+* Demand queues are **bucketed per bank** and the buckets are maintained
+  incrementally on enqueue/dequeue, so neither the FR-FCFS scan, the
+  first-ready fallback, nor the wake-hint computation ever rescans the flat
+  queue per candidate.
+* The wake hint (:meth:`next_event_cycle`) is *precise*: it covers every
+  event source that can unblock the controller -- per-bank command readiness,
+  rank-level tRRD/tFAW release, the earliest periodic-refresh due cycle
+  (a time skip must never jump past a tREFI boundary), the back-off recovery
+  deadline, pending preventive refreshes and pending RFMs, and in-flight
+  read completions.  A hint that fires early merely costs a wasted wake; a
+  hint that fires late would silently change simulated behaviour, which the
+  strict-tick determinism harness guards against.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.controller.address_mapping import AddressMapping
@@ -87,9 +102,23 @@ class MemoryController:
         self.write_drain_high = write_drain_high
         self.write_drain_low = write_drain_low
 
-        self.read_queue: List[MemoryRequest] = []
-        self.write_queue: List[MemoryRequest] = []
+        # The demand queues live *only* as per-bank FIFO buckets, maintained
+        # incrementally on enqueue/dequeue (empty buckets are pruned); the
+        # flat per-type occupancy is a pair of counters.
+        self._read_buckets: Dict[int, List[MemoryRequest]] = {}
+        self._write_buckets: Dict[int, List[MemoryRequest]] = {}
+        self._read_count = 0
+        self._write_count = 0
+        # Queued demand requests (read + write) per rank, for O(1)
+        # refresh-postponing decisions.
+        self._rank_demand: List[int] = [0] * self.organization.ranks
+        self._banks_per_rank = self.organization.banks_per_rank
+        self._all_banks: List[int] = list(range(self.organization.total_banks))
         self._inflight_reads: List[MemoryRequest] = []
+        # Completed-but-undrained requests.  The ChannelRouter reads this
+        # attribute directly (a truthiness check per channel per tick) to
+        # skip the drain call when empty -- treat the name as part of the
+        # hot-path contract, like the bank's ready-cycle attributes.
         self._completed: List[MemoryRequest] = []
         self._draining_writes = False
 
@@ -105,8 +134,8 @@ class MemoryController:
     def can_accept(self, request_type: RequestType) -> bool:
         """True if the corresponding queue has space."""
         if request_type is RequestType.READ:
-            return len(self.read_queue) < self.read_queue_size
-        return len(self.write_queue) < self.write_queue_size
+            return self._read_count < self.read_queue_size
+        return self._write_count < self.write_queue_size
 
     def enqueue(self, request: MemoryRequest) -> bool:
         """Decode and enqueue a demand request.  Returns False if full.
@@ -121,10 +150,32 @@ class MemoryController:
             request.dram = self.mapping.decode(request.address)
             request.bank_id = request.dram.flat_bank(self.organization)
         if request.is_read:
-            self.read_queue.append(request)
+            self._read_count += 1
+            buckets = self._read_buckets
         else:
-            self.write_queue.append(request)
+            self._write_count += 1
+            buckets = self._write_buckets
+        bucket = buckets.get(request.bank_id)
+        if bucket is None:
+            buckets[request.bank_id] = [request]
+        else:
+            bucket.append(request)
+        self._rank_demand[request.bank_id // self._banks_per_rank] += 1
         return True
+
+    def _dequeue(self, request: MemoryRequest, is_read: bool) -> None:
+        """Remove a serviced request from the bucket structures."""
+        if is_read:
+            self._read_count -= 1
+            buckets = self._read_buckets
+        else:
+            self._write_count -= 1
+            buckets = self._write_buckets
+        bucket = buckets[request.bank_id]
+        bucket.remove(request)
+        if not bucket:
+            del buckets[request.bank_id]
+        self._rank_demand[request.bank_id // self._banks_per_rank] -= 1
 
     def drain_completed(self) -> List[MemoryRequest]:
         """Return (and clear) the requests completed since the last call."""
@@ -133,7 +184,7 @@ class MemoryController:
 
     def pending_requests(self) -> int:
         """Demand requests still queued or in flight."""
-        return len(self.read_queue) + len(self.write_queue) + len(self._inflight_reads)
+        return self._read_count + self._write_count + len(self._inflight_reads)
 
     # ------------------------------------------------------------------ #
     # Main per-cycle entry point
@@ -151,15 +202,34 @@ class MemoryController:
 
         issued = self._service_backoff(cycle)
         if not issued and not self._backoff_blocks_traffic(cycle):
+            # Guards inlined: each service stage is only entered when its
+            # work queue is non-empty (this tick runs every busy cycle).
+            mechanism = self.mechanism
             issued = (
-                self._service_refresh(cycle)
-                or self._service_prfm(cycle)
-                or self._service_preventive(cycle)
-                or self._service_demand(cycle)
+                bool(self.refresh.ranks_needing_refresh())
+                and self._service_refresh(cycle)
             )
+            if not issued and mechanism is not None:
+                issued = self._service_prfm(cycle) or (
+                    mechanism.has_pending_refreshes()
+                    and self._service_preventive(cycle)
+                )
+            if not issued:
+                issued = self._service_demand(cycle)
         if issued:
             return True, cycle + 1
         return False, self._next_event_hint(cycle)
+
+    def next_event_cycle(self, cycle: int) -> int:
+        """Earliest future cycle at which this controller may make progress.
+
+        Public alias of the wake hint ``tick`` returns, for callers that
+        need the hint without attempting to issue.  Not a pure getter: it
+        accrues refresh debt up to ``cycle`` first (the hint is only precise
+        with an up-to-date due cycle), exactly as ``tick`` would.
+        """
+        self.refresh.tick(cycle)
+        return self._next_event_hint(cycle)
 
     def _backoff_blocks_traffic(self, cycle: int) -> bool:
         """True once the window of normal traffic after a back-off has ended.
@@ -192,13 +262,13 @@ class MemoryController:
                 return False
             self._in_recovery = True
 
-        all_banks = list(range(self.organization.total_banks))
+        all_banks = self._all_banks
         # All banks must be precharged before an all-bank RFM can be issued.
         for bank_id in all_banks:
             bank = self.device.banks[bank_id]
             if bank.state is BankState.ACTIVE:
                 if self.device.can_precharge(bank_id, cycle):
-                    self.device.precharge(bank_id, cycle)
+                    self._precharge(bank_id, cycle)
                     return True
                 return False
         if not self.device.can_rfm(all_banks, cycle):
@@ -211,21 +281,35 @@ class MemoryController:
             self._rfm_due_cycle = None
         return True
 
+    def _precharge(self, bank_id: int, cycle: int) -> None:
+        """Issue a PRE and reset the bank's column-over-row streak.
+
+        Every row closure goes through here: the scheduler's reordering
+        budget belongs to the open row, so closing it (for a demand
+        conflict, a periodic refresh, an RFM or back-off recovery) resets
+        the bank's hit streak.
+        """
+        self.device.precharge(bank_id, cycle)
+        self.scheduler.on_row_closed(bank_id)
+
     # ------------------------------------------------------------------ #
     # Periodic refresh
     # ------------------------------------------------------------------ #
     def _service_refresh(self, cycle: int) -> bool:
-        for rank in self.refresh.ranks_needing_refresh():
+        pending_ranks = self.refresh.ranks_needing_refresh()
+        device = self.device
+        banks = device.banks
+        for rank in pending_ranks:
             urgent = self.refresh.refresh_urgent(rank)
-            bank_ids = self.device.banks_in_rank(rank)
+            bank_ids = device.banks_in_rank(rank)
             if not urgent:
                 # Postpone the REF (DDR5 allows up to four postponements)
                 # unless the rank is completely idle, in which case refresh
                 # opportunistically.
-                if self._rank_has_pending_demand(rank):
+                if self._rank_demand[rank]:
                     continue
-                if self.device.can_refresh(rank, cycle):
-                    self.device.refresh(rank, cycle)
+                if device.can_refresh(rank, cycle):
+                    device.refresh(rank, cycle)
                     self.refresh.refresh_issued(rank)
                     self.stats.refreshes += 1
                     return True
@@ -233,29 +317,20 @@ class MemoryController:
             # Urgent: new activations to this rank are blocked (see
             # _refresh_blocked_ranks); close its open banks, then refresh.
             open_banks = [
-                b for b in bank_ids if self.device.banks[b].state is BankState.ACTIVE
+                b for b in bank_ids if banks[b].state is BankState.ACTIVE
             ]
             if open_banks:
                 for bank_id in open_banks:
-                    if self.device.can_precharge(bank_id, cycle):
-                        self.device.precharge(bank_id, cycle)
+                    if device.can_precharge(bank_id, cycle):
+                        self._precharge(bank_id, cycle)
                         return True
                 continue
-            if self.device.can_refresh(rank, cycle):
-                self.device.refresh(rank, cycle)
+            if device.can_refresh(rank, cycle):
+                device.refresh(rank, cycle)
                 self.refresh.refresh_issued(rank)
                 self.stats.refreshes += 1
                 return True
         return False
-
-    def _rank_has_pending_demand(self, rank: int) -> bool:
-        """True if any queued demand request targets a bank of ``rank``."""
-        per_rank = self.organization.banks_per_rank
-        low, high = rank * per_rank, (rank + 1) * per_rank
-        return any(
-            low <= request.bank_id < high
-            for request in self.read_queue + self.write_queue
-        )
 
     def _refresh_blocked_ranks(self) -> List[int]:
         """Ranks whose refresh debt is urgent: no new ACTs may be issued."""
@@ -269,20 +344,22 @@ class MemoryController:
     # Controller-side mechanism servicing
     # ------------------------------------------------------------------ #
     def _service_prfm(self, cycle: int) -> bool:
-        if self.mechanism is None:
+        mechanism = self.mechanism
+        if mechanism is None:
             return False
-        for bank_id in range(self.organization.total_banks):
-            if not self.mechanism.rfm_needed(bank_id):
-                continue
+        pending = mechanism.rfm_pending_banks()
+        if not pending:
+            return False
+        for bank_id in pending:
             bank = self.device.banks[bank_id]
             if bank.state is BankState.ACTIVE:
                 if self.device.can_precharge(bank_id, cycle):
-                    self.device.precharge(bank_id, cycle)
+                    self._precharge(bank_id, cycle)
                     return True
                 continue
             if self.device.can_rfm([bank_id], cycle):
                 refreshed = self.device.rfm([bank_id], cycle)
-                self.mechanism.acknowledge_rfm(
+                mechanism.acknowledge_rfm(
                     bank_id,
                     cycle,
                     on_die_refreshed=(
@@ -290,22 +367,23 @@ class MemoryController:
                     ),
                 )
                 self.stats.rfms += 1
-                self.stats.preventive_refresh_rows += self.mechanism.victim_rows_per_aggressor
+                self.stats.preventive_refresh_rows += mechanism.victim_rows_per_aggressor
                 return True
         return False
 
     def _service_preventive(self, cycle: int) -> bool:
-        if self.mechanism is None:
+        mechanism = self.mechanism
+        if mechanism is None or not mechanism.has_pending_refreshes():
             return False
-        for bank_id in self.mechanism.banks_with_pending_refreshes():
+        for bank_id in mechanism.banks_with_pending_refreshes():
             bank = self.device.banks[bank_id]
             if bank.state is BankState.ACTIVE:
                 if self.device.can_precharge(bank_id, cycle):
-                    self.device.precharge(bank_id, cycle)
+                    self._precharge(bank_id, cycle)
                     return True
                 continue
             if self.device.can_victim_refresh(bank_id, cycle):
-                refresh = self.mechanism.pop_refresh(bank_id, cycle)
+                refresh = mechanism.pop_refresh(bank_id, cycle)
                 if refresh is None:
                     continue
                 self.device.victim_refresh(bank_id, refresh.num_rows, cycle)
@@ -316,34 +394,77 @@ class MemoryController:
     # ------------------------------------------------------------------ #
     # Demand request servicing (FR-FCFS + Cap)
     # ------------------------------------------------------------------ #
-    def _active_queue(self) -> List[MemoryRequest]:
+    def _active_queue_is_reads(self) -> bool:
+        """Write-drain hysteresis: pick the queue type to serve this tick."""
         if self._draining_writes:
-            if len(self.write_queue) <= self.write_drain_low:
+            if self._write_count <= self.write_drain_low:
                 self._draining_writes = False
         if not self._draining_writes:
-            if len(self.write_queue) >= self.write_drain_high or (
-                not self.read_queue and self.write_queue
+            if self._write_count >= self.write_drain_high or (
+                not self._read_count and self._write_count
             ):
                 self._draining_writes = True
-        if self._draining_writes and self.write_queue:
-            return self.write_queue
-        return self.read_queue
+        return not (self._draining_writes and self._write_count)
 
     def _service_demand(self, cycle: int) -> bool:
-        queue = self._active_queue()
-        if not queue:
-            return False
-        request = self.scheduler.choose(queue, self.device)
-        if request is not None and self._serve_request(request, queue, cycle):
+        is_read = self._active_queue_is_reads()
+        if is_read:
+            if not self._read_count:
+                return False
+            buckets = self._read_buckets
+        else:
+            buckets = self._write_buckets
+        request = self.scheduler.choose_from_buckets(buckets, self.device)
+        if request is not None and self._serve_request(request, is_read, buckets, cycle):
             return True
         # First-ready fallback: try any request whose next command is legal.
-        for request in sorted(queue, key=lambda r: r.request_id):
-            if self._serve_request(request, queue, cycle):
+        # Per bank only three requests can differ in outcome -- the bucket
+        # head, the oldest row hit and the oldest row conflict (legality of a
+        # column command or a precharge does not depend on which queued
+        # request triggers it) -- so trying those in global FCFS order is
+        # equivalent to the full-queue rescan this replaces.  Candidates
+        # whose bank timing already rules the command out are dropped here
+        # (pure pre-filter: _serve_request would reject them identically).
+        banks = self.device.banks
+        candidates: List[MemoryRequest] = []
+        for bank_id, bucket in buckets.items():
+            bank = banks[bank_id]
+            open_row = bank.open_row
+            head = bucket[0]
+            if open_row is None:
+                if cycle >= bank._next_act:
+                    candidates.append(head)
+                continue
+            head_is_hit = head.dram.row == open_row
+            second: Optional[MemoryRequest] = None
+            for r in bucket:
+                if (r.dram.row == open_row) != head_is_hit:
+                    second = r
+                    break
+            hit_ready = cycle >= (bank._next_rd if is_read else bank._next_wr)
+            pre_ready = cycle >= bank._next_pre
+            if head_is_hit:
+                if hit_ready:
+                    candidates.append(head)
+                if second is not None and pre_ready:
+                    candidates.append(second)
+            else:
+                if pre_ready:
+                    candidates.append(head)
+                if second is not None and hit_ready:
+                    candidates.append(second)
+        candidates.sort(key=lambda r: r.request_id)
+        for request in candidates:
+            if self._serve_request(request, is_read, buckets, cycle):
                 return True
         return False
 
     def _serve_request(
-        self, request: MemoryRequest, queue: List[MemoryRequest], cycle: int
+        self,
+        request: MemoryRequest,
+        is_read: bool,
+        buckets: Dict[int, List[MemoryRequest]],
+        cycle: int,
     ) -> bool:
         bank_id = request.bank_id
         open_row = self.device.open_row(bank_id)
@@ -351,24 +472,25 @@ class MemoryController:
 
         if open_row == target_row:
             hit = request.row_hit if request.row_hit is not None else True
-            if request.is_read and self.device.can_read(bank_id, cycle):
-                ready = self.device.read(bank_id, cycle)
-                self._complete_column(request, queue, cycle, ready, row_hit=hit)
-                return True
-            if request.is_write and self.device.can_write(bank_id, cycle):
+            if is_read:
+                if self.device.can_read(bank_id, cycle):
+                    ready = self.device.read(bank_id, cycle)
+                    self._complete_column(request, is_read, cycle, ready, row_hit=hit)
+                    return True
+            elif self.device.can_write(bank_id, cycle):
                 done = self.device.write(bank_id, cycle)
-                self._complete_column(request, queue, cycle, done, row_hit=hit)
+                self._complete_column(request, is_read, cycle, done, row_hit=hit)
                 return True
             return False
 
         if open_row is not None:
-            if self._preserve_open_row(bank_id, open_row, queue):
+            if self._preserve_open_row(bank_id, open_row, buckets):
                 # A pending request still targets the open row and the
                 # column-over-row reordering cap has not been exhausted, so
                 # the conflicting request must wait (FR-FCFS row-hit-first).
                 return False
             if self.device.can_precharge(bank_id, cycle):
-                self.device.precharge(bank_id, cycle)
+                self._precharge(bank_id, cycle)
                 self.stats.row_conflicts += 1
                 request.row_hit = False
                 # The older row-conflict request finally makes progress, so
@@ -377,7 +499,7 @@ class MemoryController:
                 return True
             return False
 
-        rank = self.device.rank_of_bank(bank_id)
+        rank = bank_id // self._banks_per_rank
         if self.refresh.refresh_urgent(rank):
             # The rank must drain for an overdue periodic refresh first.
             return False
@@ -391,19 +513,26 @@ class MemoryController:
         return False
 
     def _preserve_open_row(
-        self, bank_id: int, open_row: int, queue: List[MemoryRequest]
+        self,
+        bank_id: int,
+        open_row: int,
+        buckets: Dict[int, List[MemoryRequest]],
     ) -> bool:
         """True if the open row should be kept open for a pending row hit."""
         if self.scheduler.cap_reached(bank_id):
             return False
-        return any(
-            r.bank_id == bank_id and r.dram.row == open_row for r in queue
-        )
+        bucket = buckets.get(bank_id)
+        if not bucket:
+            return False
+        for request in bucket:
+            if request.dram.row == open_row:
+                return True
+        return False
 
     def _complete_column(
         self,
         request: MemoryRequest,
-        queue: List[MemoryRequest],
+        is_read: bool,
         cycle: int,
         completion: int,
         row_hit: bool,
@@ -411,11 +540,11 @@ class MemoryController:
         request.issued_cycle = cycle
         request.completion_cycle = completion
         request.row_hit = row_hit
-        queue.remove(request)
+        self._dequeue(request, is_read)
         self.scheduler.on_scheduled(request, row_hit)
         if row_hit:
             self.stats.row_hits += 1
-        if request.is_read:
+        if is_read:
             self.stats.reads_served += 1
             self.stats.total_read_latency += completion - request.arrival_cycle
             self._inflight_reads.append(request)
@@ -424,49 +553,139 @@ class MemoryController:
             self._completed.append(request)
 
     def _retire_inflight(self, cycle: int) -> None:
-        if not self._inflight_reads:
+        reads = self._inflight_reads
+        if not reads:
             return
+        for request in reads:
+            if request.completion_cycle <= cycle:
+                break
+        else:
+            return  # nothing retires this cycle: avoid rebuilding the list
         still_waiting = []
-        for request in self._inflight_reads:
-            if request.completion_cycle is not None and request.completion_cycle <= cycle:
-                self._completed.append(request)
+        completed = self._completed
+        for request in reads:
+            if request.completion_cycle <= cycle:
+                completed.append(request)
             else:
                 still_waiting.append(request)
         self._inflight_reads = still_waiting
 
     # ------------------------------------------------------------------ #
-    # Idle-time hints
+    # Idle-time hints (the event horizon)
     # ------------------------------------------------------------------ #
     def _next_event_hint(self, cycle: int) -> int:
-        events: List[int] = []
-        if self._rfm_due_cycle is not None and not self._in_recovery:
-            events.append(self._rfm_due_cycle)
-        if self._in_recovery or self.refresh.ranks_needing_refresh():
-            for bank in self.device.banks:
-                if bank.state is BankState.ACTIVE:
-                    events.append(bank.ready_cycle_for_precharge())
-                else:
-                    events.append(bank.ready_cycle_for_activate())
-        for request in self.read_queue + self.write_queue:
-            bank = self.device.banks[request.bank_id]
-            if bank.open_row == request.dram.row:
+        """Earliest future cycle at which ``tick`` may do useful work.
+
+        Every event source is covered, so the system simulator may advance
+        time to exactly this cycle without changing simulated behaviour
+        (hints may be conservative -- early -- but never late; the
+        strict-tick determinism harness pins this).  Bank/rank readiness is
+        read via the private ``_next_*`` attributes: this hint runs on every
+        idle tick and the accessor-call overhead dominates otherwise.
+        """
+        best = FAR_FUTURE
+        device = self.device
+        banks = device.banks
+
+        # Periodic refresh: a skip must never jump past a tREFI boundary,
+        # otherwise REFs would silently be postponed beyond the DDR5 limit.
+        due = self.refresh.next_due_cycle()
+        if cycle < due < best:
+            best = due
+
+        # Back-off recovery deadline (mitigation recovery window).
+        rfm_due = self._rfm_due_cycle
+        if rfm_due is not None and not self._in_recovery and cycle < rfm_due < best:
+            best = rfm_due
+
+        if self._in_recovery:
+            # Recovery needs every bank precharged, then an all-bank RFM.
+            for bank in banks:
                 ready = (
-                    bank.ready_cycle_for_read()
-                    if request.is_read
-                    else bank.ready_cycle_for_write()
+                    bank._next_pre if bank.state is BankState.ACTIVE else bank._next_act
                 )
-            elif bank.open_row is not None:
-                ready = bank.ready_cycle_for_precharge()
-            else:
-                ready = bank.ready_cycle_for_activate()
-            events.append(ready)
-        if self.mechanism is not None:
-            for bank_id in self.mechanism.banks_with_pending_refreshes():
-                events.append(self.device.banks[bank_id].ready_cycle_for_activate())
-        if self._inflight_reads:
-            events.append(min(r.completion_cycle for r in self._inflight_reads))
-        # A periodic refresh may become due in the future even when idle.
-        future = [event for event in events if event > cycle]
-        if not future:
-            return cycle + 1 if events else FAR_FUTURE
-        return min(future)
+                if cycle < ready < best:
+                    best = ready
+        else:
+            pending_ranks = self.refresh.ranks_needing_refresh()
+            if pending_ranks:
+                rank_demand = self._rank_demand
+                for rank in pending_ranks:
+                    # A postponed REF is only actionable when urgent or when
+                    # the rank is idle; otherwise the next refresh event is
+                    # the accrual boundary already covered above.
+                    if not self.refresh.refresh_urgent(rank) and rank_demand[rank]:
+                        continue
+                    for bank_id in device.banks_in_rank(rank):
+                        bank = banks[bank_id]
+                        ready = (
+                            bank._next_pre
+                            if bank.state is BankState.ACTIVE
+                            else bank._next_act
+                        )
+                        if cycle < ready < best:
+                            best = ready
+
+        # Demand requests, bucketed per bank.  Both queues contribute: the
+        # write queue may become the active queue as soon as it drains.
+        banks_per_rank = self._banks_per_rank
+        for buckets, is_read in (
+            (self._read_buckets, True),
+            (self._write_buckets, False),
+        ):
+            for bank_id, bucket in buckets.items():
+                bank = banks[bank_id]
+                open_row = bank.open_row
+                if open_row is None:
+                    ready = bank._next_act
+                    rank_ready = device.rank_act_ready_cycle(bank_id // banks_per_rank)
+                    if rank_ready > ready:
+                        ready = rank_ready
+                    if cycle < ready < best:
+                        best = ready
+                    continue
+                saw_hit = saw_conflict = False
+                for request in bucket:
+                    if request.dram.row == open_row:
+                        saw_hit = True
+                        if saw_conflict:
+                            break
+                    else:
+                        saw_conflict = True
+                        if saw_hit:
+                            break
+                if saw_hit:
+                    ready = bank._next_rd if is_read else bank._next_wr
+                    if cycle < ready < best:
+                        best = ready
+                if saw_conflict:
+                    ready = bank._next_pre
+                    if cycle < ready < best:
+                        best = ready
+
+        mechanism = self.mechanism
+        if mechanism is not None:
+            if mechanism.has_pending_refreshes():
+                for bank_id in mechanism.banks_with_pending_refreshes():
+                    bank = banks[bank_id]
+                    ready = (
+                        bank._next_pre
+                        if bank.state is BankState.ACTIVE
+                        else bank._next_act
+                    )
+                    if cycle < ready < best:
+                        best = ready
+            for bank_id in mechanism.rfm_pending_banks():
+                bank = banks[bank_id]
+                ready = (
+                    bank._next_pre if bank.state is BankState.ACTIVE else bank._next_act
+                )
+                if cycle < ready < best:
+                    best = ready
+
+        for request in self._inflight_reads:
+            completion = request.completion_cycle
+            if cycle < completion < best:
+                best = completion
+
+        return best

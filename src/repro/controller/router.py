@@ -39,6 +39,13 @@ class ChannelRouter:
                 f"mapping addresses {expected} channels but "
                 f"{len(self.controllers)} controllers were provided"
             )
+        # Per-channel tick gating: a sleeping channel's state can only change
+        # through its own tick or a new enqueue, so between those its wake
+        # hint stays valid and the whole per-channel Python dispatch can be
+        # skipped.  ``_wake[i]`` is the next cycle channel i must be ticked;
+        # ``_dirty[i]`` forces a tick after an enqueue landed on it.
+        self._wake: List[int] = [-1] * len(self.controllers)
+        self._dirty: List[bool] = [True] * len(self.controllers)
 
     @property
     def num_channels(self) -> int:
@@ -53,13 +60,20 @@ class ChannelRouter:
         if request.dram is None:
             request.dram = self.mapping.decode(request.address)
             request.bank_id = request.dram.flat_bank(self.mapping.organization)
-        return self.controllers[request.dram.channel].enqueue(request)
+        channel = request.dram.channel
+        accepted = self.controllers[channel].enqueue(request)
+        if accepted:
+            self._dirty[channel] = True
+        return accepted
 
     def drain_completed(self) -> List[MemoryRequest]:
         """Completed requests of every channel since the last call."""
         completed: List[MemoryRequest] = []
         for controller in self.controllers:
-            completed.extend(controller.drain_completed())
+            # Direct read of the controller's documented hot-path attribute:
+            # skips the swap-and-allocate drain for idle channels.
+            if controller._completed:
+                completed.extend(controller.drain_completed())
         return completed
 
     def pending_requests(self) -> int:
@@ -69,20 +83,30 @@ class ChannelRouter:
     # ------------------------------------------------------------------ #
     # Main per-cycle entry point
     # ------------------------------------------------------------------ #
-    def tick(self, cycle: int) -> Tuple[bool, int]:
-        """Tick every channel at ``cycle``.
+    def tick(self, cycle: int, force: bool = False) -> Tuple[bool, int]:
+        """Tick every channel that can make progress at ``cycle``.
 
         Each channel owns an independent command bus, so up to one command
-        per channel issues per cycle.  Returns ``(any_issued, next_hint)``
-        where ``next_hint`` is the earliest next-event hint across channels
-        (only meaningful when nothing issued anywhere).
+        per channel issues per cycle.  Channels that are neither dirty (a new
+        request arrived) nor at their own wake cycle are skipped entirely --
+        their previous hint is still valid.  ``force`` disables the gating
+        (the strict-tick reference path must not depend on hint precision).
+        Returns ``(any_issued, next_hint)`` where ``next_hint`` is the
+        earliest wake cycle across channels (only meaningful when nothing
+        issued anywhere).
         """
         issued_any = False
         hint = FAR_FUTURE
-        for controller in self.controllers:
-            issued, channel_hint = controller.tick(cycle)
-            if issued:
-                issued_any = True
-            elif channel_hint < hint:
-                hint = channel_hint
+        wake = self._wake
+        dirty = self._dirty
+        for index, controller in enumerate(self.controllers):
+            if force or dirty[index] or cycle >= wake[index]:
+                issued, channel_hint = controller.tick(cycle)
+                dirty[index] = False
+                wake[index] = channel_hint  # == cycle + 1 when issued
+                if issued:
+                    issued_any = True
+                    continue
+            if wake[index] < hint:
+                hint = wake[index]
         return issued_any, (cycle + 1 if issued_any else hint)

@@ -6,11 +6,21 @@ row-buffer hits are prioritised over older row-buffer conflicts, but at most
 ``cap`` consecutive hits may bypass an older conflicting request to the same
 bank, which bounds the starvation that an open-row-friendly stream could
 otherwise inflict (and that a memory performance attack exploits).
+
+The streak that enforces the cap belongs to the currently *open row*: when a
+row is closed (demand precharge, periodic refresh, RFM, back-off recovery)
+the reordering budget of the bank resets -- the controller reports closures
+via :meth:`FrFcfsCapScheduler.on_row_closed`.
+
+The memory controller keeps its request queues bucketed per bank
+(:class:`~repro.controller.controller.MemoryController`), so the scheduler
+offers :meth:`choose_from_buckets`, which picks the same request FR-FCFS+Cap
+would pick from a flat queue scan but only inspects per-bank bucket heads and
+the open-row hits of open banks.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.controller.request import MemoryRequest
@@ -34,7 +44,7 @@ class FrFcfsCapScheduler:
     def choose(
         self, queue: Sequence[MemoryRequest], device: DramDevice
     ) -> Optional[MemoryRequest]:
-        """Choose the next request to service from ``queue``.
+        """Choose the next request to service from a flat ``queue``.
 
         The choice only considers row-buffer state (first-ready); the caller
         remains responsible for checking command timing legality before
@@ -53,17 +63,75 @@ class FrFcfsCapScheduler:
                 if best_hit is None or request.request_id < best_hit.request_id:
                     best_hit = request
 
+        return self._arbitrate(oldest, best_hit, queue)
+
+    def choose_from_buckets(
+        self,
+        buckets: Dict[int, List[MemoryRequest]],
+        device: DramDevice,
+    ) -> Optional[MemoryRequest]:
+        """Equivalent of :meth:`choose` over per-bank FIFO buckets.
+
+        ``buckets`` maps a flat bank id to the bank's queued requests in
+        arrival (= request_id) order; empty buckets must have been removed.
+        Picks exactly the request a flat FR-FCFS+Cap scan would pick.
+        """
+        if not buckets:
+            return None
+
+        banks = device.banks
+        oldest: Optional[MemoryRequest] = None
+        best_hit: Optional[MemoryRequest] = None
+        for bank_id, bucket in buckets.items():
+            head = bucket[0]
+            if oldest is None or head.request_id < oldest.request_id:
+                oldest = head
+            open_row = banks[bank_id].open_row
+            if open_row is None:
+                continue
+            for request in bucket:
+                if request.dram.row == open_row:
+                    if best_hit is None or request.request_id < best_hit.request_id:
+                        best_hit = request
+                    break  # bucket is FIFO: the first hit is the oldest hit
+        return self._arbitrate_bucketed(oldest, best_hit, buckets)
+
+    def _arbitrate(
+        self,
+        oldest: Optional[MemoryRequest],
+        best_hit: Optional[MemoryRequest],
+        queue: Sequence[MemoryRequest],
+    ) -> Optional[MemoryRequest]:
         if best_hit is None:
             return oldest
         if best_hit is oldest:
             return best_hit
-
         # There is an older request; only let the hit bypass it if the hit's
         # bank has not exhausted its reordering cap *and* the older request
         # targets the same bank (otherwise there is no reordering conflict).
         bank = best_hit.bank_id
         older_conflict_same_bank = any(
             r.request_id < best_hit.request_id and r.bank_id == bank for r in queue
+        )
+        if older_conflict_same_bank and self._hit_streak.get(bank, 0) >= self.cap:
+            return oldest
+        return best_hit
+
+    def _arbitrate_bucketed(
+        self,
+        oldest: Optional[MemoryRequest],
+        best_hit: Optional[MemoryRequest],
+        buckets: Dict[int, List[MemoryRequest]],
+    ) -> Optional[MemoryRequest]:
+        if best_hit is None:
+            return oldest
+        if best_hit is oldest:
+            return best_hit
+        bank = best_hit.bank_id
+        # The bank's bucket is FIFO, so an older same-bank request exists
+        # exactly when the bucket head is older than the hit.
+        older_conflict_same_bank = (
+            buckets[bank][0].request_id < best_hit.request_id
         )
         if older_conflict_same_bank and self._hit_streak.get(bank, 0) >= self.cap:
             return oldest
@@ -84,3 +152,12 @@ class FrFcfsCapScheduler:
             self._hit_streak[bank] = self._hit_streak.get(bank, 0) + 1
         else:
             self._hit_streak[bank] = 0
+
+    def on_row_closed(self, bank_id: int) -> None:
+        """The bank's open row was closed (PRE / REF / RFM / recovery).
+
+        The column-over-row reordering budget is a property of the open row:
+        a streak accumulated against a row that no longer exists must not
+        throttle the first hits to a freshly opened row.
+        """
+        self._hit_streak.pop(bank_id, None)

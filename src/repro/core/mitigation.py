@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 #: Listener signature for victim-refresh events:
 #: ``(bank_id, aggressor_row, num_rows, cycle)``.  ``aggressor_row`` is None
@@ -208,10 +208,18 @@ class ControllerMitigation(MitigationMechanism):
         if not queue:
             return None
         refresh = queue.pop(0)
+        if not queue:
+            # Prune drained buckets so has_pending_refreshes stays O(1) and
+            # banks_with_pending_refreshes never walks dead keys.
+            del self._pending[bank_id]
         self.notify_victims_refreshed(
             refresh.bank_id, refresh.aggressor_row, refresh.num_rows, cycle
         )
         return refresh
+
+    def has_pending_refreshes(self) -> bool:
+        """True if any bank has a queued preventive refresh (hot-path guard)."""
+        return bool(self._pending)
 
     def banks_with_pending_refreshes(self) -> List[int]:
         """Return the bank ids that currently have queued refreshes."""
@@ -225,6 +233,15 @@ class ControllerMitigation(MitigationMechanism):
     def rfm_needed(self, bank_id: int) -> bool:
         """Return True if the controller should issue an RFM to ``bank_id``."""
         return False
+
+    def rfm_pending_banks(self) -> Tuple[int, ...]:
+        """Banks that currently need an RFM, in ascending bank order.
+
+        The memory controller iterates this instead of probing
+        :meth:`rfm_needed` for every bank every tick; mechanisms that
+        override :meth:`rfm_needed` must override this consistently.
+        """
+        return ()
 
     def acknowledge_rfm(self, bank_id: int, cycle: int) -> None:
         """Called after the controller issues the RFM requested for a bank."""

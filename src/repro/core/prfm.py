@@ -17,8 +17,9 @@ quickly as ``N_RH`` decreases.
 
 from __future__ import annotations
 
+import bisect
 import math
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.security import (
     DEFAULT_PARAMETERS,
@@ -74,6 +75,9 @@ class PRFM(ControllerMitigation):
         self.rfm_threshold = rfm_threshold
         self._bank_counters: List[int] = [0] * num_banks
         self._rfm_pending: List[bool] = [False] * num_banks
+        # Banks with _rfm_pending set, kept sorted for deterministic service
+        # order (mirrors the ascending-bank probe the controller used to do).
+        self._rfm_pending_banks: List[int] = []
 
     # ------------------------------------------------------------------ #
     # Observation hooks
@@ -82,13 +86,18 @@ class PRFM(ControllerMitigation):
         self.stats.tracked_activations += 1
         self._bank_counters[bank_id] += 1
         if self._bank_counters[bank_id] >= self.rfm_threshold:
-            self._rfm_pending[bank_id] = True
+            if not self._rfm_pending[bank_id]:
+                self._rfm_pending[bank_id] = True
+                bisect.insort(self._rfm_pending_banks, bank_id)
 
     # ------------------------------------------------------------------ #
     # RFM interface
     # ------------------------------------------------------------------ #
     def rfm_needed(self, bank_id: int) -> bool:
         return self._rfm_pending[bank_id]
+
+    def rfm_pending_banks(self) -> Tuple[int, ...]:
+        return tuple(self._rfm_pending_banks)
 
     def acknowledge_rfm(
         self, bank_id: int, cycle: int, on_die_refreshed: Optional[int] = None
@@ -107,6 +116,8 @@ class PRFM(ControllerMitigation):
                 own refreshes -- including refreshing nothing -- so no
                 phantom refresh may be credited here.
         """
+        if self._rfm_pending[bank_id]:
+            self._rfm_pending_banks.remove(bank_id)
         self._rfm_pending[bank_id] = False
         self._bank_counters[bank_id] = 0
         self.stats.rfm_commands += 1
@@ -132,3 +143,4 @@ class PRFM(ControllerMitigation):
         super().reset()
         self._bank_counters = [0] * self.num_banks
         self._rfm_pending = [False] * self.num_banks
+        self._rfm_pending_banks = []

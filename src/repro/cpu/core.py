@@ -108,6 +108,19 @@ class Core:
         self._position = 0
         self._outstanding: Deque[_OutstandingAccess] = deque()
         self._reads_in_flight = 0
+        # True when _position moved since the last retirement check.
+        self._dispatched_since_retire = True
+        # Posted writes (write-allocate fills, dirty-victim writebacks) that
+        # bounced off a full write queue; retried in order before any new
+        # dispatch so no DRAM write traffic is ever silently dropped.
+        self._pending_posted_writes: Deque[int] = deque()
+        # Cached next trace entry and the (fractional) cycle its preceding
+        # instructions are fetched by: the failed-dispatch fast path is a
+        # single comparison instead of a trace lookup plus a division.
+        self._entry = trace[0]
+        self._ready_cycle = (
+            self._entry.gap_instructions / self.instructions_per_dram_cycle
+        )
 
         # Progress accounting.
         self.retired_instructions = 0
@@ -151,17 +164,16 @@ class Core:
         again in the same cycle to exploit the full dispatch bandwidth).
         """
         self._retire(cycle)
-
-        entry = self.trace[self._index]
-        dispatch_position = self._position + entry.gap_instructions
+        if self._pending_posted_writes:
+            self._drain_posted_writes(controller, cycle)
 
         # Front-end: the access cannot dispatch before its preceding
         # instructions have been fetched / executed.
-        ready_cycle = self._front_cycle + (
-            entry.gap_instructions / self.instructions_per_dram_cycle
-        )
+        ready_cycle = self._ready_cycle
         if ready_cycle > cycle:
             return False
+        entry = self._entry
+        dispatch_position = self._position + entry.gap_instructions
 
         # Instruction-window constraint: the instruction ``window_size``
         # older must have retired.
@@ -173,35 +185,48 @@ class Core:
             return False
 
         line_address = (entry.address // self.llc.line_size) * self.llc.line_size
-        if self.bypass_llc:
-            result = CacheAccessResult(hit=False)
-        else:
-            result = self.llc.access(line_address, entry.is_write)
+        # Probe before touching the LLC: a dispatch that fails on a full read
+        # queue must be entirely side-effect-free, otherwise the failed
+        # attempt allocates the line (turning the retry into a phantom LLC
+        # hit that never reads DRAM) and drops the evicted victim's
+        # writeback.  ``contains`` is a pure lookup; the mutating ``access``
+        # only runs once the dispatch is committed.
+        will_hit = (not self.bypass_llc) and self.llc.contains(line_address)
 
         access = _OutstandingAccess(position=dispatch_position, completion_cycle=None)
-        if result.hit:
+        if will_hit:
+            result = self.llc.access(line_address, entry.is_write)
             self.llc_hits += 1
             access.completion_cycle = cycle + self.llc_hit_latency
-        else:
+        elif entry.is_write:
+            result = (
+                CacheAccessResult(hit=False)
+                if self.bypass_llc
+                else self.llc.access(line_address, entry.is_write)
+            )
             self.llc_misses += 1
-            if entry.is_write:
-                # Write-allocate: fetch the line, but do not stall the core.
-                self._post_write(controller, line_address, cycle)
-                access.completion_cycle = cycle + self.llc_hit_latency
-            else:
-                request = MemoryRequest(
-                    address=line_address,
-                    request_type=RequestType.READ,
-                    core_id=self.core_id,
-                    arrival_cycle=cycle,
-                )
-                if not controller.enqueue(request):
-                    # Queue full: undo the dispatch attempt (the LLC state
-                    # change is harmless) and retry later.
-                    return False
-                access.request = request
-                self._reads_in_flight += 1
-                self.mem_reads += 1
+            # Write-allocate: fetch the line, but do not stall the core.
+            self._post_write(controller, line_address, cycle)
+            access.completion_cycle = cycle + self.llc_hit_latency
+        else:
+            request = MemoryRequest(
+                address=line_address,
+                request_type=RequestType.READ,
+                core_id=self.core_id,
+                arrival_cycle=cycle,
+            )
+            if not controller.enqueue(request):
+                # Queue full: retry later (nothing was mutated above).
+                return False
+            result = (
+                CacheAccessResult(hit=False)
+                if self.bypass_llc
+                else self.llc.access(line_address, entry.is_write)
+            )
+            self.llc_misses += 1
+            access.request = request
+            self._reads_in_flight += 1
+            self.mem_reads += 1
         if result.writeback_address is not None:
             self._post_write(controller, result.writeback_address, cycle)
 
@@ -210,25 +235,56 @@ class Core:
 
         self._outstanding.append(access)
         self._position = dispatch_position + 1
+        self._dispatched_since_retire = True
         self._front_cycle = max(self._front_cycle, float(cycle))
         self._front_cycle = max(ready_cycle, self._front_cycle)
         self._advance_cursor()
         return True
 
     def _post_write(self, controller: "MemoryController", address: int, cycle: int) -> None:
-        """Send a posted (non-blocking) write to the memory controller."""
+        """Send a posted (non-blocking) write to the memory controller.
+
+        Posted writes never stall the core, but they must not vanish either:
+        if the write queue is full the address is buffered and retried (in
+        order) at the next dispatch attempt.
+        """
+        if self._pending_posted_writes:
+            # Keep the posted-write stream FIFO: never let a new write jump
+            # ahead of one that is still waiting for queue space.
+            self._pending_posted_writes.append(address)
+            return
         request = MemoryRequest(
             address=address,
             request_type=RequestType.WRITE,
             core_id=self.core_id,
             arrival_cycle=cycle,
         )
-        controller.enqueue(request)
+        if not controller.enqueue(request):
+            self._pending_posted_writes.append(address)
+
+    def _drain_posted_writes(self, controller: "MemoryController", cycle: int) -> None:
+        """Retry buffered posted writes while the queue accepts them."""
+        pending = self._pending_posted_writes
+        while pending:
+            request = MemoryRequest(
+                address=pending[0],
+                request_type=RequestType.WRITE,
+                core_id=self.core_id,
+                arrival_cycle=cycle,
+            )
+            if not controller.enqueue(request):
+                return
+            pending.popleft()
 
     def _advance_cursor(self) -> None:
         self._index += 1
         if self._index >= len(self.trace):
             self._index = 0
+        entry = self.trace[self._index]
+        self._entry = entry
+        self._ready_cycle = self._front_cycle + (
+            entry.gap_instructions / self.instructions_per_dram_cycle
+        )
 
     # ------------------------------------------------------------------ #
     # Retirement
@@ -245,33 +301,40 @@ class Core:
 
     def _retire(self, cycle: int) -> None:
         """Retire completed accesses and update the instruction count."""
-        while self._outstanding:
-            access = self._outstanding[0]
-            if access.completion_cycle is None or access.completion_cycle > cycle:
+        outstanding = self._outstanding
+        progressed = self._dispatched_since_retire
+        while outstanding:
+            access = outstanding[0]
+            completion = access.completion_cycle
+            if completion is None or completion > cycle:
                 break
-            self._outstanding.popleft()
-        if self.finish_cycle is None:
-            # Retired instructions are approximated by the front-end position
-            # of the oldest un-retired access (in-order retirement).
-            retired = self._position
-            if self._outstanding:
-                retired = min(retired, self._outstanding[0].position)
-            self.retired_instructions = retired
-            if retired >= self.instruction_target:
-                self.finish_cycle = cycle
+            outstanding.popleft()
+            progressed = True
+        if progressed:
+            self._dispatched_since_retire = False
+            if self.finish_cycle is None:
+                # Retired instructions are approximated by the front-end
+                # position of the oldest un-retired access (in-order
+                # retirement); it only moves when an access retires or a new
+                # one dispatches, so the check is skipped otherwise.
+                retired = self._position
+                if outstanding and outstanding[0].position < retired:
+                    retired = outstanding[0].position
+                self.retired_instructions = retired
+                if retired >= self.instruction_target:
+                    self.finish_cycle = cycle
 
     # ------------------------------------------------------------------ #
     # Event hints
     # ------------------------------------------------------------------ #
     def next_event_cycle(self, cycle: int) -> int:
         """Earliest future cycle at which this core can make progress."""
-        events = []
-        entry = self.trace[self._index]
-        events.append(
-            self._front_cycle + entry.gap_instructions / self.instructions_per_dram_cycle
-        )
+        best = FAR_FUTURE
+        front = self._ready_cycle
+        if front > cycle:
+            best = math.ceil(front)
         for access in self._outstanding:
-            if access.completion_cycle is not None:
-                events.append(access.completion_cycle)
-        future = [math.ceil(event) for event in events if event > cycle]
-        return min(future) if future else FAR_FUTURE
+            completion = access.completion_cycle
+            if completion is not None and cycle < completion < best:
+                best = completion
+        return best

@@ -61,7 +61,13 @@ class Bank:
         self.open_row: Optional[int] = None
         self.stats = BankStats()
 
-        # Earliest cycle each command class may be issued.
+        # Earliest cycle each command class may be issued.  The
+        # ``ready_cycle_for_*`` accessors are the public API; the memory
+        # controller's wake-hint loop (controller.py:_next_event_hint) and
+        # the device's ``can_refresh``/``can_rfm`` predicates read these
+        # attributes directly -- they run on every idle tick, where accessor
+        # call overhead dominates -- so treat the attribute names as part of
+        # the hot-path contract.
         self._next_act = 0
         self._next_pre = 0
         self._next_rd = 0

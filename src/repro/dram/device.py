@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from collections import Counter, deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Dict, List, Optional
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.mitigation import OnDieMitigation
 from repro.dram.bank import Bank, BankState, TimingViolation
@@ -60,6 +60,14 @@ class DramDevice:
         self._ranks: Dict[int, RankState] = {
             rank: RankState() for rank in range(organization.ranks)
         }
+        # Flat bank ids per rank, cached (the hot path asks every tick).
+        # Tuples: the cache is handed out by banks_in_rank, so it must be
+        # immutable -- a caller mutating it would corrupt the rank geometry.
+        per_rank = organization.banks_per_rank
+        self._rank_bank_ids: List[Tuple[int, ...]] = [
+            tuple(range(rank * per_rank, (rank + 1) * per_rank))
+            for rank in range(organization.ranks)
+        ]
         #: Command counts, keyed by command mnemonic, for the energy model.
         self.command_counts: Counter = Counter()
         #: Victim rows refreshed internally by the on-die mechanism.
@@ -83,10 +91,9 @@ class DramDevice:
         """Return the rank index that contains flat bank ``bank_id``."""
         return bank_id // self.organization.banks_per_rank
 
-    def banks_in_rank(self, rank: int) -> List[int]:
-        """Return the flat bank ids belonging to ``rank``."""
-        per_rank = self.organization.banks_per_rank
-        return list(range(rank * per_rank, (rank + 1) * per_rank))
+    def banks_in_rank(self, rank: int) -> Tuple[int, ...]:
+        """The flat bank ids belonging to ``rank`` (shared cached tuple)."""
+        return self._rank_bank_ids[rank]
 
     # ------------------------------------------------------------------ #
     # Rank-level activation constraints
@@ -105,6 +112,22 @@ class DramDevice:
         state = self._ranks[rank]
         state.last_act_cycle = cycle
         state.act_window.append(cycle)
+
+    def rank_act_ready_cycle(self, rank: int) -> int:
+        """Earliest cycle at which the rank-level constraints allow an ACT.
+
+        Used by the event-horizon wake hints: an ACT to a bank may be legal
+        at ``max(bank.ready_cycle_for_activate(), rank_act_ready_cycle(rank))``
+        at the earliest, so time skips never jump past a tRRD/tFAW release.
+        """
+        state = self._ranks[rank]
+        ready = state.last_act_cycle + self.timing.tRRD
+        window = state.act_window
+        if len(window) == window.maxlen:
+            faw_ready = window[0] + self.timing.tFAW
+            if faw_ready > ready:
+                ready = faw_ready
+        return ready
 
     # ------------------------------------------------------------------ #
     # Command legality
@@ -125,17 +148,24 @@ class DramDevice:
 
     def can_refresh(self, rank: int, cycle: int) -> bool:
         """True if every bank in ``rank`` is precharged and ACT-ready."""
-        return all(
-            self.banks[b].state is BankState.IDLE and self.banks[b].can_activate(cycle)
-            for b in self.banks_in_rank(rank)
-        )
+        banks = self.banks
+        # Direct state/ready access: this predicate runs every controller
+        # tick while a refresh is owed, so the per-bank method calls of the
+        # naive formulation dominate idle-loop time.
+        for bank_id in self._rank_bank_ids[rank]:
+            bank = banks[bank_id]
+            if bank.state is not BankState.IDLE or cycle < bank._next_act:
+                return False
+        return True
 
-    def can_rfm(self, bank_ids: List[int], cycle: int) -> bool:
+    def can_rfm(self, bank_ids: Sequence[int], cycle: int) -> bool:
         """True if all target banks are precharged and ready for maintenance."""
-        return all(
-            self.banks[b].state is BankState.IDLE and self.banks[b].can_activate(cycle)
-            for b in bank_ids
-        )
+        banks = self.banks
+        for bank_id in bank_ids:
+            bank = banks[bank_id]
+            if bank.state is not BankState.IDLE or cycle < bank._next_act:
+                return False
+        return True
 
     def can_victim_refresh(self, bank_id: int, cycle: int) -> bool:
         bank = self.banks[bank_id]
@@ -156,8 +186,9 @@ class DramDevice:
         self.command_counts["ACT"] += 1
         if self.mitigation is not None:
             self.mitigation.on_activate(bank_id, row, cycle)
-        for listener in self._activation_listeners:
-            listener(bank_id, row, cycle)
+        if self._activation_listeners:
+            for listener in self._activation_listeners:
+                listener(bank_id, row, cycle)
 
     def precharge(self, bank_id: int, cycle: int) -> int:
         """Issue a PRE to ``bank_id``.  Returns the closed row."""
@@ -190,7 +221,7 @@ class DramDevice:
         if self.mitigation is not None:
             self.mitigation.on_periodic_refresh(bank_ids, cycle)
 
-    def rfm(self, bank_ids: List[int], cycle: int) -> int:
+    def rfm(self, bank_ids: Sequence[int], cycle: int) -> int:
         """Issue an RFM covering ``bank_ids``.
 
         The on-die mechanism (if any) performs its victim refreshes within

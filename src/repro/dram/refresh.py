@@ -7,17 +7,25 @@ REF commands; the paper notes that up to four REFs may be postponed, which is
 why its security analysis does not rely on periodic refreshes.
 
 :class:`RefreshScheduler` tracks, per rank, when the next REF is due and how
-many REFs are pending (postponed).  The memory controller consults it every
-cycle and issues REF commands opportunistically, prioritising them once the
-postpone budget is exhausted.
+many REFs are pending (postponed).  Accrual is lazy and hint-driven: ``tick``
+is O(1) unless a tREFI boundary has actually been crossed, and
+:meth:`next_due_cycle` exposes the earliest upcoming boundary so the
+event-horizon simulator can wake exactly on it (a time skip must never jump
+past a tREFI boundary, or REFs would silently be postponed beyond the DDR5
+limit).  The memory controller consults the scheduler every tick and issues
+REF commands opportunistically, prioritising them once the postpone budget is
+exhausted.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, Tuple
 
 from repro.dram.timing import TimingParams
+
+#: Sentinel "no event" value (matches the simulator's FAR_FUTURE).
+_FAR_FUTURE = 1 << 62
 
 
 @dataclass
@@ -43,13 +51,38 @@ class RefreshScheduler:
         self._ranks: Dict[int, RankRefreshState] = {
             rank: RankRefreshState(next_due_cycle=timing.tREFI) for rank in range(num_ranks)
         }
+        self._states = list(self._ranks.values())
+        #: Earliest next_due_cycle across ranks; tick is a no-op before it.
+        self._next_accrual = timing.tREFI
+        #: Cached ranks-with-pending tuple (None = needs rebuild).
+        self._pending_ranks: Tuple[int, ...] = ()
 
     def tick(self, cycle: int) -> None:
-        """Accrue newly due refreshes up to ``cycle``."""
-        for state in self._ranks.values():
-            while cycle >= state.next_due_cycle:
-                state.pending += 1
-                state.next_due_cycle += self.timing.tREFI
+        """Accrue newly due refreshes up to ``cycle`` (O(1) off-boundary)."""
+        if cycle < self._next_accrual:
+            return
+        tREFI = self.timing.tREFI
+        next_accrual = _FAR_FUTURE
+        for state in self._states:
+            due = state.next_due_cycle
+            if cycle >= due:
+                # How many whole tREFI boundaries did we cross?
+                newly_due = (cycle - due) // tREFI + 1
+                state.pending += newly_due
+                due += newly_due * tREFI
+                state.next_due_cycle = due
+            if due < next_accrual:
+                next_accrual = due
+        self._next_accrual = next_accrual
+        self._pending_ranks = None  # type: ignore[assignment]
+
+    def next_due_cycle(self) -> int:
+        """Earliest upcoming tREFI boundary across all ranks.
+
+        The event-horizon simulator includes this in every wake hint so a
+        time skip can never jump past a refresh deadline.
+        """
+        return self._next_accrual
 
     def pending_refreshes(self, rank: int) -> int:
         """Number of REF commands currently owed to ``rank``."""
@@ -63,9 +96,17 @@ class RefreshScheduler:
         """True if at least one REF is owed to ``rank``."""
         return self._ranks[rank].pending > 0
 
-    def ranks_needing_refresh(self) -> List[int]:
-        """Ranks that currently owe at least one REF."""
-        return [rank for rank, state in self._ranks.items() if state.pending > 0]
+    def ranks_needing_refresh(self) -> Tuple[int, ...]:
+        """Ranks that currently owe at least one REF (cached tuple).
+
+        The tuple is rebuilt only when accrual or issue changes the pending
+        set; callers must not mutate it (it is shared across calls).
+        """
+        if self._pending_ranks is None:
+            self._pending_ranks = tuple(
+                rank for rank, state in self._ranks.items() if state.pending > 0
+            )
+        return self._pending_ranks
 
     def refresh_issued(self, rank: int) -> None:
         """Record that a REF command was issued to ``rank``."""
@@ -74,6 +115,8 @@ class RefreshScheduler:
             raise RuntimeError(f"rank {rank} has no pending refresh to issue")
         state.pending -= 1
         state.issued += 1
+        if state.pending == 0:
+            self._pending_ranks = None  # type: ignore[assignment]
 
     def total_issued(self) -> int:
         """Total REF commands issued across all ranks."""

@@ -38,7 +38,10 @@ from repro.system.metrics import SimulationResult
 
 #: Bump whenever the simulator's observable behaviour or the entry layout
 #: changes; old entries are then treated as misses and rewritten.
-CACHE_SCHEMA_VERSION = 1
+#: 2: event-horizon engine (PR 4) -- time skips honour tREFI/tRRD/tFAW
+#:    deadlines, the FR-FCFS cap resets on row closure, failed dispatches
+#:    no longer mutate the LLC, finished cores replay deterministically.
+CACHE_SCHEMA_VERSION = 2
 
 #: Environment variable consulted for the default on-disk cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"

@@ -58,6 +58,7 @@ class SystemSimulator:
         workload_name: Optional[str] = None,
         energy_model: Optional[EnergyModel] = None,
         oracle: Optional["DisturbanceOracle"] = None,
+        strict_tick: bool = False,
     ) -> None:
         if len(traces) != config.num_cores:
             raise ValueError(
@@ -68,6 +69,11 @@ class SystemSimulator:
         self.workload_name = workload_name or "+".join(trace.name for trace in traces)
         self.energy_model = energy_model or DEFAULT_ENERGY_MODEL
         self.oracle = oracle
+        #: Debug flag: when True, time advances one cycle at a time (the
+        #: cycle-stepped reference path) instead of skipping to the next
+        #: event horizon.  Slow but trivially correct; the determinism
+        #: harness asserts the event-driven path is byte-identical to it.
+        self.strict_tick = strict_tick
 
         organization = config.organization
         self.num_channels = organization.channels
@@ -169,23 +175,37 @@ class SystemSimulator:
     # Main loop
     # ------------------------------------------------------------------ #
     def run(self) -> SimulationResult:
-        """Run the simulation until every core retires its target."""
+        """Run the simulation until every core retires its target.
+
+        Time is event-driven: when no component issued anything, the loop
+        advances to the exact minimum of every component's next-event hint
+        (controller command readiness, refresh due cycles, back-off
+        deadlines, core retire/issue events).  With ``strict_tick=True`` it
+        instead advances one cycle at a time -- the reference path the
+        determinism tests compare against.
+        """
         cycle = self.cycle
         cores = self.cores
         router = self.router
         max_cycles = self.config.max_cycles
+        strict = self.strict_tick
 
         while True:
             for core in cores:
                 while core.try_issue(cycle, router):
                     pass
-            issued, hint = router.tick(cycle)
+            issued, hint = router.tick(cycle, force=strict)
             completed = router.drain_completed()
             for request in completed:
                 if request.is_read:
                     cores[request.core_id].notify_completion(request, cycle)
 
-            if all(core.finished for core in cores):
+            finished_all = True
+            for core in cores:
+                if not core.finished:
+                    finished_all = False
+                    break
+            if finished_all:
                 break
             if cycle >= max_cycles:
                 break
@@ -196,14 +216,22 @@ class SystemSimulator:
                 # advancing time (otherwise a final same-cycle completion
                 # would look like a deadlock).
                 continue
-            if issued:
+            if issued or strict:
                 cycle += 1
                 continue
             wake = hint
             for core in cores:
-                if not core.finished:
-                    wake = min(wake, core.next_event_cycle(cycle))
+                # Finished cores participate too: they keep replaying their
+                # trace to preserve memory contention (weighted-speedup
+                # methodology), so their issue events are real events -- a
+                # skip over them would make the background traffic depend on
+                # the wake pattern instead of on simulated time.
+                event = core.next_event_cycle(cycle)
+                if event < wake:
+                    wake = event
             if wake <= cycle:
+                # Defensive only: hints are precise, so an idle tick always
+                # yields a strictly future wake cycle.
                 cycle += 1
             elif wake >= FAR_FUTURE:
                 raise RuntimeError(
@@ -301,13 +329,16 @@ def simulate(
     traces: Sequence[Trace],
     workload_name: Optional[str] = None,
     oracle: Optional["DisturbanceOracle"] = None,
+    strict_tick: bool = False,
 ) -> SimulationResult:
     """Convenience wrapper: build a :class:`SystemSimulator` and run it.
 
     When ``oracle`` (a :class:`~repro.attacks.oracle.DisturbanceOracle`) is
     given, its ground-truth disturbance statistics are merged into the
-    result's ``mitigation_stats`` under ``oracle_*`` keys.
+    result's ``mitigation_stats`` under ``oracle_*`` keys.  ``strict_tick``
+    selects the cycle-stepped debug path (see :class:`SystemSimulator`).
     """
     return SystemSimulator(
-        config, traces, workload_name=workload_name, oracle=oracle
+        config, traces, workload_name=workload_name, oracle=oracle,
+        strict_tick=strict_tick,
     ).run()

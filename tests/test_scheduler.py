@@ -87,3 +87,64 @@ class TestChoose:
         scheduler.on_scheduled(make_request(0, 5), was_row_hit=True)
         scheduler.reset()
         assert scheduler.hit_streak(0) == 0
+
+
+class TestRowClosureResetsStreak:
+    """The reordering budget belongs to the open row, not the bank.
+
+    A streak accumulated against a row that was closed by a precharge (or a
+    REF / RFM, which require the row to already be closed) must not throttle
+    the first hits to a freshly opened row.
+    """
+
+    def test_on_row_closed_resets_streak(self, device):
+        scheduler = FrFcfsCapScheduler(cap=2)
+        scheduler.on_scheduled(make_request(0, 5), was_row_hit=True)
+        scheduler.on_scheduled(make_request(0, 5), was_row_hit=True)
+        assert scheduler.cap_reached(0)
+        scheduler.on_row_closed(0)
+        assert scheduler.hit_streak(0) == 0
+        assert not scheduler.cap_reached(0)
+
+    def test_other_banks_unaffected(self, device):
+        scheduler = FrFcfsCapScheduler(cap=1)
+        scheduler.on_scheduled(make_request(0, 5), was_row_hit=True)
+        scheduler.on_scheduled(make_request(1, 7), was_row_hit=True)
+        scheduler.on_row_closed(0)
+        assert scheduler.hit_streak(0) == 0
+        assert scheduler.hit_streak(1) == 1
+
+    def test_fresh_row_hits_not_throttled_after_closure(self, device):
+        """After a closure, a hit may again bypass an older conflict."""
+        scheduler = FrFcfsCapScheduler(cap=1)
+        device.activate(0, 5, 0)
+        scheduler.on_scheduled(make_request(0, 5), was_row_hit=True)
+        assert scheduler.cap_reached(0)
+        older_conflict = make_request(0, 9)
+        hit = make_request(0, 5)
+        # Cap exhausted: the older conflict wins ...
+        assert scheduler.choose([older_conflict, hit], device) is older_conflict
+        # ... until the row closes, which hands the fresh row a fresh budget.
+        scheduler.on_row_closed(0)
+        assert scheduler.choose([older_conflict, hit], device) is hit
+
+    def test_bucketed_choose_matches_flat_choose(self, device):
+        """choose_from_buckets picks exactly what the flat scan picks."""
+        flat = FrFcfsCapScheduler(cap=2)
+        bucketed = FrFcfsCapScheduler(cap=2)
+        device.activate(0, 5, 0)
+        requests = [
+            make_request(0, 9),   # oldest: conflict on bank 0
+            make_request(1, 3),   # bank 1 (idle)
+            make_request(0, 5),   # hit on bank 0
+            make_request(0, 5),   # younger hit on bank 0
+        ]
+        buckets = {}
+        for request in requests:
+            buckets.setdefault(request.bank_id, []).append(request)
+        for streak in range(4):
+            assert flat.choose(requests, device) is bucketed.choose_from_buckets(
+                buckets, device
+            )
+            flat.on_scheduled(make_request(0, 5), was_row_hit=True)
+            bucketed.on_scheduled(make_request(0, 5), was_row_hit=True)
