@@ -97,7 +97,8 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seed", type=int, default=0, help="trace-generation seed")
     sweep.add_argument(
         "--workers", type=int, default=None, metavar="N",
-        help="worker processes (default: $REPRO_SWEEP_WORKERS or serial)",
+        help="worker processes (default: $REPRO_SWEEP_WORKERS, else one per "
+             "CPU up to 8; values below 2 run serially)",
     )
     sweep.add_argument(
         "--cache-dir", default=None, metavar="PATH",
@@ -173,7 +174,8 @@ def build_parser() -> argparse.ArgumentParser:
         )
         parser.add_argument(
             "--workers", type=int, default=None, metavar="N",
-            help="worker processes (default: $REPRO_SWEEP_WORKERS or serial)",
+            help="worker processes (default: $REPRO_SWEEP_WORKERS, else one "
+                 "per CPU up to 8; values below 2 run serially)",
         )
         parser.add_argument(
             "--cache-dir", default=None, metavar="PATH",
@@ -235,7 +237,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print("error: no mixes selected", file=sys.stderr)
         return 2
     cache = _resolve_cache(args)
-    workers = default_workers() if args.workers is None else args.workers
+    workers = default_workers(auto=True) if args.workers is None else args.workers
     engine = SweepEngine(cache=cache, workers=workers)
     try:
         base_config = paper_system_config().with_overrides(channels=args.channels)
@@ -276,7 +278,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
         return 0
 
-    comparisons = runner.compare(args.mechanisms, args.nrh, mixes)
+    try:
+        comparisons = runner.compare(args.mechanisms, args.nrh, mixes)
+    finally:
+        # The pool must not outlive the command, error or not.
+        engine.close()
     rows = [
         {
             "mechanism": c.mechanism,
@@ -289,7 +295,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         for c in comparisons
     ]
     print(format_rows(rows))
-    print(f"\n{engine.executed_jobs} jobs simulated; {cache.summary()}")
+    print()
+    for line in engine.last_run_report.summary_lines():
+        print(line)
+    print(f"{engine.executed_jobs} jobs simulated; {cache.summary()}")
     return 0
 
 
@@ -369,7 +378,7 @@ def _cmd_attack_trace(args: argparse.Namespace) -> int:
 
 
 def _redteam_engine(args: argparse.Namespace) -> RedTeamEngine:
-    workers = default_workers() if args.workers is None else args.workers
+    workers = default_workers(auto=True) if args.workers is None else args.workers
     engine = SweepEngine(cache=_resolve_cache(args), workers=workers)
     base_config = paper_system_config().with_overrides(
         channels=getattr(args, "channels", 1)
@@ -480,6 +489,8 @@ def _cmd_attack_search(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    finally:
+        redteam.engine.close()
     print(f"red-team search: {args.mechanism} ({len(specs)} attack specs per N_RH)")
     print(format_rows(_search_report_rows(report)))
     _print_search_summary(report)
@@ -498,25 +509,29 @@ def _cmd_attack_compare(args: argparse.Namespace) -> int:
     redteam = _redteam_engine(args)
     specs = default_search_specs(args.patterns, seed=args.seed, channel=args.channel)
     rows = []
-    for mechanism in args.mechanisms:
-        report = redteam.search(
-            mechanism, args.nrh, specs=specs,
-            refine=not args.no_refine,
-        )
-        disagreement = report.disagreement
-        rows.append(
-            {
-                "mechanism": mechanism,
-                "empirical_min_escaping": _format_nrh(report.empirical_min_escaping_nrh),
-                "empirical_max_escaping": _format_nrh(report.empirical_max_escaping_nrh),
-                "empirical_min_secure": _format_nrh(report.empirical_min_secure_nrh),
-                "analytical_min_secure": _format_nrh(report.analytical_min_secure),
-                "agreement": (
-                    "-" if report.analytical_min_secure is None
-                    else ("no" if disagreement else "yes")
-                ),
-            }
-        )
+    try:
+        for mechanism in args.mechanisms:
+            report = redteam.search(
+                mechanism, args.nrh, specs=specs,
+                refine=not args.no_refine,
+            )
+            disagreement = report.disagreement
+            rows.append(
+                {
+                    "mechanism": mechanism,
+                    "empirical_min_escaping": _format_nrh(report.empirical_min_escaping_nrh),
+                    "empirical_max_escaping": _format_nrh(report.empirical_max_escaping_nrh),
+                    "empirical_min_secure": _format_nrh(report.empirical_min_secure_nrh),
+                    "analytical_min_secure": _format_nrh(report.analytical_min_secure),
+                    "agreement": (
+                        "-" if report.analytical_min_secure is None
+                        else ("no" if disagreement else "yes")
+                    ),
+                }
+            )
+    finally:
+        # The pool must not outlive the command, error or not.
+        redteam.engine.close()
     print(format_rows(rows))
     print(
         f"\n{redteam.engine.executed_jobs} probes simulated; "

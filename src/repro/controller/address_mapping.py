@@ -63,6 +63,30 @@ class AddressMapping:
     name: str
     column_low_bits: int = 0
 
+    def __post_init__(self) -> None:
+        # Decode runs once per LLC miss, so the per-field (shift, mask)
+        # pairs are precomputed instead of rebuilding the width table per
+        # call.  ``object.__setattr__`` because the dataclass is frozen; the
+        # plan is derived state, not a field (equality/repr are unaffected).
+        widths = self.field_widths()
+        shifts: Dict[str, int] = {}
+        masks: Dict[str, int] = {}
+        shift = 0
+        for field in self.field_order:
+            width = widths[field]
+            shifts[field] = shift
+            masks[field] = (1 << width) - 1
+            shift += width
+        plan = tuple(
+            (shifts[field], masks[field])
+            for field in (
+                "channel", "rank", "bankgroup", "bank", "row",
+                "column_high", "column_low",
+            )
+        )
+        object.__setattr__(self, "_decode_plan", plan)
+        object.__setattr__(self, "_column_low_width", widths["column_low"])
+
     def field_widths(self) -> Dict[str, int]:
         """Bit width of every field for this organization."""
         org = self.organization
@@ -88,20 +112,24 @@ class AddressMapping:
         """Decode a physical byte address into DRAM coordinates."""
         if address < 0:
             raise ValueError("address must be non-negative")
-        widths = self.field_widths()
-        values: Dict[str, int] = {}
-        cursor = address
-        for field in self.field_order:
-            width = widths[field]
-            values[field] = cursor & ((1 << width) - 1) if width else 0
-            cursor >>= width
-        column = (values["column_high"] << widths["column_low"]) | values["column_low"]
+        (
+            (ch_shift, ch_mask),
+            (ra_shift, ra_mask),
+            (bg_shift, bg_mask),
+            (ba_shift, ba_mask),
+            (ro_shift, ro_mask),
+            (ch_hi_shift, ch_hi_mask),
+            (ch_lo_shift, ch_lo_mask),
+        ) = self._decode_plan
+        column = (
+            ((address >> ch_hi_shift) & ch_hi_mask) << self._column_low_width
+        ) | ((address >> ch_lo_shift) & ch_lo_mask)
         return DramAddress(
-            channel=values["channel"],
-            rank=values["rank"],
-            bankgroup=values["bankgroup"],
-            bank=values["bank"],
-            row=values["row"],
+            channel=(address >> ch_shift) & ch_mask,
+            rank=(address >> ra_shift) & ra_mask,
+            bankgroup=(address >> bg_shift) & bg_mask,
+            bank=(address >> ba_shift) & ba_mask,
+            row=(address >> ro_shift) & ro_mask,
             column=column,
         )
 

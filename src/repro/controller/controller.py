@@ -50,7 +50,7 @@ from repro.dram.refresh import RefreshScheduler
 FAR_FUTURE = 1 << 62
 
 
-@dataclass
+@dataclass(slots=True)
 class ControllerStats:
     """Aggregate statistics exported after a simulation."""
 
@@ -101,6 +101,10 @@ class MemoryController:
         self.refresh = RefreshScheduler(self.organization.ranks, self.timing)
         self.write_drain_high = write_drain_high
         self.write_drain_low = write_drain_low
+        # The on-die mechanism, cached: the back-off probe runs every tick
+        # and must not chase device attributes for mechanisms that live on
+        # the controller side (where it is None).
+        self._on_die = device.mitigation
 
         # The demand queues live *only* as per-bank FIFO buckets, maintained
         # incrementally on enqueue/dequeue (empty buckets are pruned); the
@@ -125,6 +129,12 @@ class MemoryController:
         # Back-off protocol state.
         self._rfm_due_cycle: Optional[int] = None
         self._in_recovery = False
+
+        # Cached demand-section wake hint.  The per-bank readiness values it
+        # derives from only change on an enqueue or an issued command, so
+        # between those the cached minimum stays exact; a cached value that
+        # fell into the past forces a recompute (see _next_event_hint).
+        self._demand_hint: Optional[int] = None
 
         self.stats = ControllerStats()
 
@@ -161,6 +171,7 @@ class MemoryController:
         else:
             bucket.append(request)
         self._rank_demand[request.bank_id // self._banks_per_rank] += 1
+        self._demand_hint = None
         return True
 
     def _dequeue(self, request: MemoryRequest, is_read: bool) -> None:
@@ -178,8 +189,17 @@ class MemoryController:
         self._rank_demand[request.bank_id // self._banks_per_rank] -= 1
 
     def drain_completed(self) -> List[MemoryRequest]:
-        """Return (and clear) the requests completed since the last call."""
-        completed, self._completed = self._completed, []
+        """Return (and clear) the requests completed since the last call.
+
+        When nothing completed, the (empty) live list is returned without
+        detaching it -- callers only iterate the result before their next
+        drain, so the aliasing is unobservable and the per-call allocation
+        disappears from the idle path.
+        """
+        completed = self._completed
+        if not completed:
+            return completed
+        self._completed = []
         return completed
 
     def pending_requests(self) -> int:
@@ -196,9 +216,23 @@ class MemoryController:
         cycle at which calling ``tick`` again may be useful (only meaningful
         when ``issued`` is False).
         """
-        self.refresh.tick(cycle)
-        self._retire_inflight(cycle)
-        self._observe_backoff(cycle)
+        # Prologue with the O(1) guards inlined (this runs every busy
+        # cycle): refresh accrual off-boundary, read retirement with nothing
+        # due, and the back-off probe without an on-die mechanism are all
+        # no-ops that must not cost a call each.
+        refresh = self.refresh
+        if cycle >= refresh._next_accrual:
+            refresh.tick(cycle)
+        reads = self._inflight_reads
+        if reads and reads[0].completion_cycle <= cycle:
+            self._retire_inflight(cycle)
+        if self._rfm_due_cycle is None and not self._in_recovery:
+            on_die = self._on_die
+            if on_die is not None and on_die.backoff_asserted():
+                self.stats.backoffs_observed += 1
+                self._rfm_due_cycle = (
+                    cycle + self.timing.tBackOffLatency + self.timing.tABOACT
+                )
 
         issued = self._service_backoff(cycle)
         if not issued and not self._backoff_blocks_traffic(cycle):
@@ -217,6 +251,9 @@ class MemoryController:
             if not issued:
                 issued = self._service_demand(cycle)
         if issued:
+            # Any command changes bank/rank readiness: drop the cached
+            # demand hint.
+            self._demand_hint = None
             return True, cycle + 1
         return False, self._next_event_hint(cycle)
 
@@ -246,15 +283,6 @@ class MemoryController:
     # ------------------------------------------------------------------ #
     # Back-off (alert_n) handling
     # ------------------------------------------------------------------ #
-    def _observe_backoff(self, cycle: int) -> None:
-        if self._rfm_due_cycle is not None or self._in_recovery:
-            return
-        if self.device.backoff_asserted():
-            self.stats.backoffs_observed += 1
-            self._rfm_due_cycle = (
-                cycle + self.timing.tBackOffLatency + self.timing.tABOACT
-            )
-
     def _service_backoff(self, cycle: int) -> bool:
         """Handle the recovery period of the back-off protocol."""
         if not self._in_recovery:
@@ -375,7 +403,10 @@ class MemoryController:
         mechanism = self.mechanism
         if mechanism is None or not mechanism.has_pending_refreshes():
             return False
-        for bank_id in mechanism.banks_with_pending_refreshes():
+        # Direct key iteration over the pruned pending dict (hot-path
+        # contract): safe because the dict is only mutated on a served
+        # refresh, which returns out of the loop immediately.
+        for bank_id in mechanism._pending:
             bank = self.device.banks[bank_id]
             if bank.state is BankState.ACTIVE:
                 if self.device.can_precharge(bank_id, cycle):
@@ -467,17 +498,18 @@ class MemoryController:
         cycle: int,
     ) -> bool:
         bank_id = request.bank_id
-        open_row = self.device.open_row(bank_id)
+        bank = self.device.banks[bank_id]
+        open_row = bank.open_row
         target_row = request.dram.row
 
         if open_row == target_row:
             hit = request.row_hit if request.row_hit is not None else True
             if is_read:
-                if self.device.can_read(bank_id, cycle):
+                if cycle >= bank._next_rd:
                     ready = self.device.read(bank_id, cycle)
                     self._complete_column(request, is_read, cycle, ready, row_hit=hit)
                     return True
-            elif self.device.can_write(bank_id, cycle):
+            elif cycle >= bank._next_wr:
                 done = self.device.write(bank_id, cycle)
                 self._complete_column(request, is_read, cycle, done, row_hit=hit)
                 return True
@@ -489,7 +521,7 @@ class MemoryController:
                 # column-over-row reordering cap has not been exhausted, so
                 # the conflicting request must wait (FR-FCFS row-hit-first).
                 return False
-            if self.device.can_precharge(bank_id, cycle):
+            if cycle >= bank._next_pre:
                 self._precharge(bank_id, cycle)
                 self.stats.row_conflicts += 1
                 request.row_hit = False
@@ -500,10 +532,11 @@ class MemoryController:
             return False
 
         rank = bank_id // self._banks_per_rank
-        if self.refresh.refresh_urgent(rank):
+        # Inlined refresh_urgent (runs per ACT-candidate serve).
+        if self.refresh._ranks[rank].pending >= RefreshScheduler.MAX_POSTPONED:
             # The rank must drain for an overdue periodic refresh first.
             return False
-        if self.device.can_activate(bank_id, cycle):
+        if cycle >= bank._next_act and self.device._rank_act_allowed(rank, cycle):
             self.device.activate(bank_id, target_row, cycle)
             self.stats.row_misses += 1
             request.row_hit = False
@@ -554,13 +587,10 @@ class MemoryController:
 
     def _retire_inflight(self, cycle: int) -> None:
         reads = self._inflight_reads
-        if not reads:
+        # Read completions are issue cycle + a constant (tCL + tBL), so the
+        # list is ordered by completion: checking the head suffices.
+        if not reads or reads[0].completion_cycle > cycle:
             return
-        for request in reads:
-            if request.completion_cycle <= cycle:
-                break
-        else:
-            return  # nothing retires this cycle: avoid rebuilding the list
         still_waiting = []
         completed = self._completed
         for request in reads:
@@ -628,45 +658,23 @@ class MemoryController:
 
         # Demand requests, bucketed per bank.  Both queues contribute: the
         # write queue may become the active queue as soon as it drains.
-        banks_per_rank = self._banks_per_rank
-        for buckets, is_read in (
-            (self._read_buckets, True),
-            (self._write_buckets, False),
-        ):
-            for bank_id, bucket in buckets.items():
-                bank = banks[bank_id]
-                open_row = bank.open_row
-                if open_row is None:
-                    ready = bank._next_act
-                    rank_ready = device.rank_act_ready_cycle(bank_id // banks_per_rank)
-                    if rank_ready > ready:
-                        ready = rank_ready
-                    if cycle < ready < best:
-                        best = ready
-                    continue
-                saw_hit = saw_conflict = False
-                for request in bucket:
-                    if request.dram.row == open_row:
-                        saw_hit = True
-                        if saw_conflict:
-                            break
-                    else:
-                        saw_conflict = True
-                        if saw_hit:
-                            break
-                if saw_hit:
-                    ready = bank._next_rd if is_read else bank._next_wr
-                    if cycle < ready < best:
-                        best = ready
-                if saw_conflict:
-                    ready = bank._next_pre
-                    if cycle < ready < best:
-                        best = ready
+        # The section is cached: its inputs (bucket membership, bank/rank
+        # readiness) only change on an enqueue or an issued command, both of
+        # which drop the cache, so consecutive idle wakes (refresh
+        # boundaries, core events, early hints) reuse the minimum instead of
+        # rescanning every bucket.  A cached value at or below the current
+        # cycle is stale by definition and forces a recompute.
+        demand = self._demand_hint
+        if demand is None or demand <= cycle:
+            demand = self._demand_ready_cycle(cycle)
+            self._demand_hint = demand
+        if cycle < demand < best:
+            best = demand
 
         mechanism = self.mechanism
         if mechanism is not None:
-            if mechanism.has_pending_refreshes():
-                for bank_id in mechanism.banks_with_pending_refreshes():
+            if mechanism._pending:
+                for bank_id in mechanism._pending:
                     bank = banks[bank_id]
                     ready = (
                         bank._next_pre
@@ -683,9 +691,56 @@ class MemoryController:
                 if cycle < ready < best:
                     best = ready
 
-        for request in self._inflight_reads:
-            completion = request.completion_cycle
+        reads = self._inflight_reads
+        if reads:
+            # Ordered by completion (issue cycle + constant): head is first.
+            completion = reads[0].completion_cycle
             if cycle < completion < best:
                 best = completion
 
+        return best
+
+    def _demand_ready_cycle(self, cycle: int) -> int:
+        """Earliest strictly-future readiness event of any queued demand.
+
+        Rank-level ACT readiness (tRRD / tFAW) is inlined: this scan runs on
+        idle wakes and the accessor-call overhead dominates otherwise.  For
+        open banks both the column-command and the precharge release are
+        included without scanning the bucket for actual hits/conflicts --
+        hints may be early (a wasted wake is a no-op tick), never late, and
+        the per-request row scan this replaces dominated the idle-wake cost.
+        """
+        best = FAR_FUTURE
+        device = self.device
+        banks = device.banks
+        banks_per_rank = self._banks_per_rank
+        rank_states = device._ranks
+        tRRD = self.timing.tRRD
+        tFAW = self.timing.tFAW
+        for buckets, is_read in (
+            (self._read_buckets, True),
+            (self._write_buckets, False),
+        ):
+            for bank_id in buckets:
+                bank = banks[bank_id]
+                if bank.open_row is None:
+                    ready = bank._next_act
+                    state = rank_states[bank_id // banks_per_rank]
+                    rank_ready = state.last_act_cycle + tRRD
+                    if rank_ready > ready:
+                        ready = rank_ready
+                    window = state.act_window
+                    if len(window) == window.maxlen:
+                        faw_ready = window[0] + tFAW
+                        if faw_ready > ready:
+                            ready = faw_ready
+                    if cycle < ready < best:
+                        best = ready
+                    continue
+                ready = bank._next_rd if is_read else bank._next_wr
+                if cycle < ready < best:
+                    best = ready
+                ready = bank._next_pre
+                if cycle < ready < best:
+                    best = ready
         return best

@@ -20,7 +20,7 @@ class RequestType(enum.Enum):
 _request_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class MemoryRequest:
     """A demand memory request (one cache line).
 
@@ -72,3 +72,62 @@ class MemoryRequest:
             f"MemoryRequest({kind} core={self.core_id} bank={self.bank_id} "
             f"row={self.dram.row if self.dram else '?'} @{self.arrival_cycle})"
         )
+
+
+class RequestPool:
+    """Free-list recycler for :class:`MemoryRequest` objects.
+
+    The request path is the simulator's highest-churn allocation site: every
+    LLC miss and posted write allocates a request that dies as soon as its
+    completion is drained.  The pool hands those objects back instead:
+    :meth:`acquire` either recycles a released request (re-initialising every
+    life-cycle field and stamping a *fresh* ``request_id``, which FCFS
+    tie-breaking requires to stay monotonic) or falls through to a normal
+    allocation.
+
+    Safety rule: a request may only be released once nothing references it
+    any more -- in the system simulator that is the moment its completion has
+    been drained and (for reads) the owning core notified, since cores drop
+    their reference during notification.
+    """
+
+    __slots__ = ("_free",)
+
+    def __init__(self) -> None:
+        self._free: list = []
+
+    def acquire(
+        self,
+        address: int,
+        request_type: RequestType,
+        core_id: int,
+        arrival_cycle: int,
+    ) -> MemoryRequest:
+        """Return a freshly initialised request (recycled when possible)."""
+        free = self._free
+        if not free:
+            return MemoryRequest(
+                address=address,
+                request_type=request_type,
+                core_id=core_id,
+                arrival_cycle=arrival_cycle,
+            )
+        request = free.pop()
+        request.address = address
+        request.request_type = request_type
+        request.core_id = core_id
+        request.arrival_cycle = arrival_cycle
+        request.dram = None
+        request.bank_id = -1
+        request.request_id = next(_request_ids)
+        request.issued_cycle = None
+        request.completion_cycle = None
+        request.row_hit = None
+        return request
+
+    def release(self, request: MemoryRequest) -> None:
+        """Hand a dead request back for reuse."""
+        self._free.append(request)
+
+    def __len__(self) -> int:
+        return len(self._free)

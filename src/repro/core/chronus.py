@@ -32,7 +32,12 @@ from repro.analysis.security import (
     att_required_entries,
     chronus_secure_backoff_threshold,
 )
-from repro.core.counters import AggressorTrackingTable, CounterSubarray, PerRowCounters
+from repro.core.counters import (
+    AggressorTrackingTable,
+    CounterSubarray,
+    PerRowCounters,
+    resolve_backend,
+)
 from repro.core.mitigation import DEFAULT_BLAST_RADIUS, OnDieMitigation
 from repro.core.prac import PRAC, counter_width_bits
 
@@ -63,6 +68,7 @@ class Chronus(OnDieMitigation):
         borrowed_refresh: bool = True,
         counter_subarray: Optional[CounterSubarray] = None,
         security_params: SecurityParameters = DEFAULT_PARAMETERS,
+        backend: Optional[str] = None,
     ) -> None:
         """Create a Chronus instance.
 
@@ -81,6 +87,8 @@ class Chronus(OnDieMitigation):
                 accounting); defaults to the paper's reference configuration.
             security_params: physical parameters used for the default
                 configuration.
+            backend: counter-store backend ("dict" / "array"; None resolves
+                to the module default, array).
         """
         super().__init__(nrh, blast_radius)
         if num_banks <= 0:
@@ -97,13 +105,19 @@ class Chronus(OnDieMitigation):
         self.counter_subarray = counter_subarray or CounterSubarray()
         self.borrowed_refresh = borrowed_refresh
 
-        self.counters = PerRowCounters(num_banks)
+        self.backend = resolve_backend(backend)
+        self.counters = PerRowCounters(num_banks, backend=self.backend)
         self.att: List[AggressorTrackingTable] = [
-            AggressorTrackingTable(att_entries) for _ in range(num_banks)
+            AggressorTrackingTable(att_entries, backend=self.backend)
+            for _ in range(num_banks)
         ]
         #: Rows whose activation count reached the back-off threshold and
         #: whose victims have not been refreshed yet, per bank.
         self._hot_rows: List[Set[int]] = [set() for _ in range(num_banks)]
+        #: Total rows across all banks awaiting a preventive refresh; kept
+        #: incrementally so the per-tick back-off probe is O(1) instead of
+        #: scanning every bank's set.
+        self._hot_total = 0
         self._backoff_was_asserted = False
         self._borrow_toggle = False
 
@@ -116,9 +130,12 @@ class Chronus(OnDieMitigation):
         count = self.counters.increment(bank_id, row)
         self.att[bank_id].update(row, count)
         if count >= self.nbo:
-            if not self.backoff_asserted():
+            if not self._hot_total:
                 self.stats.backoffs += 1
-            self._hot_rows[bank_id].add(row)
+            hot = self._hot_rows[bank_id]
+            if row not in hot:
+                hot.add(row)
+                self._hot_total += 1
 
     def on_precharge(self, bank_id: int, row: int, cycle: int) -> None:
         """No work on precharge: the counter was already updated (CCU)."""
@@ -142,12 +159,13 @@ class Chronus(OnDieMitigation):
             att.clear()
         for hot in self._hot_rows:
             hot.clear()
+        self._hot_total = 0
 
     # ------------------------------------------------------------------ #
     # Back-off protocol (Chronus Back-Off: dynamic, no delay period)
     # ------------------------------------------------------------------ #
     def backoff_asserted(self) -> bool:
-        return any(self._hot_rows)
+        return self._hot_total > 0
 
     def wants_more_rfm(self) -> bool:
         return self.backoff_asserted()
@@ -180,7 +198,10 @@ class Chronus(OnDieMitigation):
         """Reset all tracking state of a row after its victims are refreshed."""
         self.counters.reset_row(bank_id, row)
         self.att[bank_id].invalidate(row)
-        self._hot_rows[bank_id].discard(row)
+        hot = self._hot_rows[bank_id]
+        if row in hot:
+            hot.remove(row)
+            self._hot_total -= 1
         self.notify_victims_refreshed(
             bank_id, row, self.victim_rows_per_aggressor, cycle
         )
@@ -190,7 +211,7 @@ class Chronus(OnDieMitigation):
     # ------------------------------------------------------------------ #
     def pending_hot_rows(self) -> int:
         """Rows currently awaiting a preventive refresh (all banks)."""
-        return sum(len(hot) for hot in self._hot_rows)
+        return self._hot_total
 
     def storage_overhead_bits(self, num_banks: int, rows_per_bank: int) -> Dict[str, int]:
         """Chronus keeps one counter per row in the DRAM counter subarray."""
@@ -204,6 +225,7 @@ class Chronus(OnDieMitigation):
             att.clear()
         for hot in self._hot_rows:
             hot.clear()
+        self._hot_total = 0
         self._borrow_toggle = False
 
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 #: Listener signature for victim-refresh events:
 #: ``(bank_id, aggressor_row, num_rows, cycle)``.  ``aggressor_row`` is None
@@ -37,7 +37,7 @@ MitigationListener = Callable[[int, Optional[int], int, int], None]
 DEFAULT_BLAST_RADIUS = 2
 
 
-@dataclass
+@dataclass(slots=True)
 class PreventiveRefresh:
     """A queued request to refresh victim rows of an aggressor.
 
@@ -53,7 +53,7 @@ class PreventiveRefresh:
     num_rows: int
 
 
-@dataclass
+@dataclass(slots=True)
 class MitigationStats:
     """Counters shared by all mechanisms (consumed by the energy model)."""
 
@@ -222,8 +222,14 @@ class ControllerMitigation(MitigationMechanism):
         return bool(self._pending)
 
     def banks_with_pending_refreshes(self) -> List[int]:
-        """Return the bank ids that currently have queued refreshes."""
-        return [bank_id for bank_id, queue in self._pending.items() if queue]
+        """Return the bank ids that currently have queued refreshes.
+
+        Drained buckets are pruned eagerly (see :meth:`pop_refresh`), so the
+        key set is exactly the pending set.  The memory controller's hot
+        paths iterate ``_pending`` directly instead of paying this list
+        allocation per tick; the attribute is part of the hot-path contract.
+        """
+        return list(self._pending)
 
     def total_pending_rows(self) -> int:
         """Total number of victim rows waiting to be refreshed."""
@@ -234,12 +240,14 @@ class ControllerMitigation(MitigationMechanism):
         """Return True if the controller should issue an RFM to ``bank_id``."""
         return False
 
-    def rfm_pending_banks(self) -> Tuple[int, ...]:
+    def rfm_pending_banks(self) -> Sequence[int]:
         """Banks that currently need an RFM, in ascending bank order.
 
         The memory controller iterates this instead of probing
         :meth:`rfm_needed` for every bank every tick; mechanisms that
-        override :meth:`rfm_needed` must override this consistently.
+        override :meth:`rfm_needed` must override this consistently.  The
+        returned sequence may be live internal state -- callers must treat
+        it as read-only.
         """
         return ()
 

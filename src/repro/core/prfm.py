@@ -96,8 +96,10 @@ class PRFM(ControllerMitigation):
     def rfm_needed(self, bank_id: int) -> bool:
         return self._rfm_pending[bank_id]
 
-    def rfm_pending_banks(self) -> Tuple[int, ...]:
-        return tuple(self._rfm_pending_banks)
+    def rfm_pending_banks(self) -> List[int]:
+        # Live internal state (read-only contract): the controller consults
+        # this every tick while RFMs are owed, so no copy is made.
+        return self._rfm_pending_banks
 
     def acknowledge_rfm(
         self, bank_id: int, cycle: int, on_die_refreshed: Optional[int] = None

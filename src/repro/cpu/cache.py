@@ -12,12 +12,11 @@ must be written back to DRAM.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheAccessResult:
     """Outcome of one cache access."""
 
@@ -26,7 +25,7 @@ class CacheAccessResult:
     writeback_address: Optional[int] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     """Hit / miss / writeback counters."""
 
@@ -62,9 +61,12 @@ class Cache:
         self.associativity = associativity
         self.line_size = line_size
         self.num_sets = size_bytes // (associativity * line_size)
-        # Each set maps tag -> dirty flag, ordered LRU -> MRU.
-        self._sets: List["OrderedDict[int, bool]"] = [
-            OrderedDict() for _ in range(self.num_sets)
+        # Each set maps tag -> dirty flag, ordered LRU -> MRU.  Plain dicts
+        # preserve insertion order, so delete-and-reinsert moves a tag to the
+        # MRU end and ``next(iter(set))`` is the LRU victim -- same policy as
+        # an OrderedDict, minus its per-node overhead on this hot path.
+        self._sets: List[Dict[int, bool]] = [
+            dict() for _ in range(self.num_sets)
         ]
         self.stats = CacheStats()
 
@@ -85,20 +87,23 @@ class Cache:
     # ------------------------------------------------------------------ #
     def access(self, address: int, is_write: bool) -> CacheAccessResult:
         """Access ``address``; allocate on miss; return hit status + writeback."""
-        set_index, tag = self._locate(address)
+        line = address // self.line_size
+        set_index = line % self.num_sets
+        tag = line // self.num_sets
         cache_set = self._sets[set_index]
 
-        if tag in cache_set:
-            cache_set.move_to_end(tag)
-            if is_write:
-                cache_set[tag] = True
+        dirty = cache_set.pop(tag, None)
+        if dirty is not None:
+            # Reinsert at the MRU end (dicts preserve insertion order).
+            cache_set[tag] = dirty or is_write
             self.stats.hits += 1
             return CacheAccessResult(hit=True)
 
         self.stats.misses += 1
         writeback_address: Optional[int] = None
         if len(cache_set) >= self.associativity:
-            victim_tag, victim_dirty = cache_set.popitem(last=False)
+            victim_tag = next(iter(cache_set))
+            victim_dirty = cache_set.pop(victim_tag)
             if victim_dirty:
                 writeback_address = self._rebuild_address(set_index, victim_tag)
                 self.stats.writebacks += 1
@@ -109,6 +114,25 @@ class Cache:
         """True if the line holding ``address`` is currently cached."""
         set_index, tag = self._locate(address)
         return tag in self._sets[set_index]
+
+    def access_if_hit(self, address: int, is_write: bool) -> Optional[CacheAccessResult]:
+        """Perform the access only if it hits; ``None`` (and no state
+        change) on a miss.
+
+        The dispatch path probes before allocating (a failed dispatch must
+        be side-effect-free); this fuses that probe with the hit access so
+        the common LLC-hit case locates the set once instead of twice.
+        """
+        line = address // self.line_size
+        set_index = line % self.num_sets
+        tag = line // self.num_sets
+        cache_set = self._sets[set_index]
+        dirty = cache_set.pop(tag, None)
+        if dirty is None:
+            return None
+        cache_set[tag] = dirty or is_write
+        self.stats.hits += 1
+        return CacheAccessResult(hit=True)
 
     def occupancy(self) -> int:
         """Number of valid lines currently stored."""

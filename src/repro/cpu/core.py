@@ -28,7 +28,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Optional, TYPE_CHECKING
 
-from repro.controller.request import MemoryRequest, RequestType
+from repro.controller.request import MemoryRequest, RequestPool, RequestType
 from repro.cpu.cache import Cache, CacheAccessResult
 from repro.cpu.trace import Trace
 
@@ -39,7 +39,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 FAR_FUTURE = 1 << 62
 
 
-@dataclass
+@dataclass(slots=True)
 class _OutstandingAccess:
     """A dispatched memory access occupying the instruction window."""
 
@@ -63,6 +63,7 @@ class Core:
         llc_hit_latency: int = 16,
         instruction_target: Optional[int] = None,
         bypass_llc: bool = False,
+        request_pool: Optional[RequestPool] = None,
     ) -> None:
         """Create a core.
 
@@ -82,6 +83,9 @@ class Core:
             bypass_llc: if True, every access goes straight to DRAM (models an
                 attacker that flushes its lines, as the §11 performance-attack
                 study assumes).
+            request_pool: shared :class:`~repro.controller.request.RequestPool`
+                the core allocates its memory requests from (a private pool is
+                created when omitted, so standalone cores keep working).
         """
         if clock_ratio <= 0 or issue_width <= 0 or window_size <= 0:
             raise ValueError("core parameters must be positive")
@@ -94,11 +98,24 @@ class Core:
         self.max_outstanding = max_outstanding
         self.llc_hit_latency = llc_hit_latency
         self.bypass_llc = bypass_llc
+        self.request_pool = request_pool if request_pool is not None else RequestPool()
         self.instruction_target = (
             trace.total_instructions if instruction_target is None else instruction_target
         )
         #: Instructions retired per DRAM cycle when nothing stalls.
         self.instructions_per_dram_cycle = issue_width * clock_ratio
+        # The trace, decomposed once into parallel plain lists (gap, aligned
+        # line address, is-write): the dispatch loop then reads list slots
+        # instead of chasing entry-object attributes and re-aligning the
+        # address on every attempt.
+        line_size = llc.line_size
+        entries = list(trace.entries)
+        self._gaps = [entry.gap_instructions for entry in entries]
+        self._lines = [
+            (entry.address // line_size) * line_size for entry in entries
+        ]
+        self._is_writes = [entry.is_write for entry in entries]
+        self._trace_len = len(entries)
 
         # Trace cursor (wraps around).
         self._index = 0
@@ -114,13 +131,28 @@ class Core:
         # bounced off a full write queue; retried in order before any new
         # dispatch so no DRAM write traffic is ever silently dropped.
         self._pending_posted_writes: Deque[int] = deque()
-        # Cached next trace entry and the (fractional) cycle its preceding
-        # instructions are fetched by: the failed-dispatch fast path is a
-        # single comparison instead of a trace lookup plus a division.
-        self._entry = trace[0]
-        self._ready_cycle = (
-            self._entry.gap_instructions / self.instructions_per_dram_cycle
-        )
+        # Cached current-access fields and the (fractional) cycle its
+        # preceding instructions are fetched by: the failed-dispatch fast
+        # path is a single comparison instead of a list lookup plus a
+        # division.
+        self._cur_gap = self._gaps[0]
+        self._cur_line = self._lines[0]
+        self._cur_write = self._is_writes[0]
+        self._ready_cycle = self._cur_gap / self.instructions_per_dram_cycle
+
+        # Issue-gating state maintained for the system simulator's main
+        # loop: after a failed dispatch, ``try_issue`` records the earliest
+        # cycle at which retrying can possibly succeed (``_wake_cycle``) and
+        # whether a retry is also warranted as soon as any DRAM command
+        # issues (``_retry_on_issue`` -- controller queue space only frees
+        # when the controller issues).  The gate is exact, not heuristic:
+        # a skipped call is one that would have been a no-op, so the gated
+        # schedule is byte-identical to calling ``try_issue`` every cycle.
+        self._wake_cycle = 0
+        self._retry_on_issue = False
+        # Retired window entries are recycled: the request path allocates no
+        # bookkeeping objects in steady state.
+        self._access_pool: list = []
 
         # Progress accounting.
         self.retired_instructions = 0
@@ -147,11 +179,16 @@ class Core:
 
     def notify_completion(self, request: MemoryRequest, cycle: int) -> None:
         """A DRAM request issued by this core completed."""
+        self._wake_cycle = 0
         for access in self._outstanding:
             if access.request is request:
                 access.completion_cycle = max(cycle, request.completion_cycle or cycle)
                 if request.is_read:
                     self._reads_in_flight -= 1
+                # Drop the reference: the caller may recycle the request
+                # through the pool, and a recycled object must never match
+                # a stale window entry here.
+                access.request = None
                 break
 
     # ------------------------------------------------------------------ #
@@ -163,7 +200,17 @@ class Core:
         Returns True if an access was dispatched (the system should call
         again in the same cycle to exploit the full dispatch bandwidth).
         """
-        self._retire(cycle)
+        # Retire only when it can do something: bookkeeping moved since the
+        # last call, or the window head's completion matured.  The guard is
+        # exact -- _retire is a no-op otherwise -- and skips the call on
+        # most failed retries.
+        outstanding = self._outstanding
+        if self._dispatched_since_retire:
+            self._retire(cycle)
+        elif outstanding:
+            completion = outstanding[0].completion_cycle
+            if completion is not None and completion <= cycle:
+                self._retire(cycle)
         if self._pending_posted_writes:
             self._drain_posted_writes(controller, cycle)
 
@@ -171,57 +218,69 @@ class Core:
         # instructions have been fetched / executed.
         ready_cycle = self._ready_cycle
         if ready_cycle > cycle:
-            return False
-        entry = self._entry
-        dispatch_position = self._position + entry.gap_instructions
+            return self._block(cycle)
+        dispatch_position = self._position + self._cur_gap
 
         # Instruction-window constraint: the instruction ``window_size``
         # older must have retired.
         if not self._window_allows(dispatch_position, cycle):
-            return False
+            return self._block(cycle)
 
         # MSHR constraint.
         if self._reads_in_flight >= self.max_outstanding:
-            return False
+            return self._block(cycle)
 
-        line_address = (entry.address // self.llc.line_size) * self.llc.line_size
-        # Probe before touching the LLC: a dispatch that fails on a full read
-        # queue must be entirely side-effect-free, otherwise the failed
-        # attempt allocates the line (turning the retry into a phantom LLC
-        # hit that never reads DRAM) and drops the evicted victim's
-        # writeback.  ``contains`` is a pure lookup; the mutating ``access``
-        # only runs once the dispatch is committed.
-        will_hit = (not self.bypass_llc) and self.llc.contains(line_address)
+        line_address = self._cur_line
+        is_write = self._cur_write
+        # Probe-before-access: a dispatch that fails on a full read queue
+        # must be entirely side-effect-free, otherwise the failed attempt
+        # allocates the line (turning the retry into a phantom LLC hit that
+        # never reads DRAM) and drops the evicted victim's writeback.
+        # ``access_if_hit`` fuses the pure probe with the hit access (one
+        # set lookup); only a committed miss runs the mutating ``access``.
+        hit_result = (
+            None if self.bypass_llc
+            else self.llc.access_if_hit(line_address, is_write)
+        )
 
-        access = _OutstandingAccess(position=dispatch_position, completion_cycle=None)
-        if will_hit:
-            result = self.llc.access(line_address, entry.is_write)
+        access_pool = self._access_pool
+        if access_pool:
+            access = access_pool.pop()
+            access.position = dispatch_position
+            access.completion_cycle = None
+            access.request = None
+        else:
+            access = _OutstandingAccess(position=dispatch_position, completion_cycle=None)
+        if hit_result is not None:
+            result = hit_result
             self.llc_hits += 1
             access.completion_cycle = cycle + self.llc_hit_latency
-        elif entry.is_write:
+        elif is_write:
             result = (
                 CacheAccessResult(hit=False)
                 if self.bypass_llc
-                else self.llc.access(line_address, entry.is_write)
+                else self.llc.access(line_address, is_write)
             )
             self.llc_misses += 1
             # Write-allocate: fetch the line, but do not stall the core.
             self._post_write(controller, line_address, cycle)
             access.completion_cycle = cycle + self.llc_hit_latency
         else:
-            request = MemoryRequest(
-                address=line_address,
-                request_type=RequestType.READ,
-                core_id=self.core_id,
-                arrival_cycle=cycle,
+            request = self.request_pool.acquire(
+                line_address, RequestType.READ, self.core_id, cycle
             )
             if not controller.enqueue(request):
-                # Queue full: retry later (nothing was mutated above).
+                # Queue full: retry later (nothing was mutated above).  Queue
+                # space only frees when the controller issues a command, so
+                # the retry is gated on issue events rather than on time.
+                self.request_pool.release(request)
+                self._wake_cycle = self.next_event_cycle(cycle)
+                self._retry_on_issue = True
                 return False
             result = (
                 CacheAccessResult(hit=False)
                 if self.bypass_llc
-                else self.llc.access(line_address, entry.is_write)
+                else self.llc.access(line_address, is_write)
             )
             self.llc_misses += 1
             access.request = request
@@ -230,16 +289,60 @@ class Core:
         if result.writeback_address is not None:
             self._post_write(controller, result.writeback_address, cycle)
 
-        if entry.is_write:
+        if is_write:
             self.mem_writes += 1
 
         self._outstanding.append(access)
         self._position = dispatch_position + 1
         self._dispatched_since_retire = True
-        self._front_cycle = max(self._front_cycle, float(cycle))
-        self._front_cycle = max(ready_cycle, self._front_cycle)
-        self._advance_cursor()
+        front = self._front_cycle
+        if cycle > front:
+            front = float(cycle)
+        if ready_cycle > front:
+            front = ready_cycle
+        self._front_cycle = front
+        # Advance the trace cursor (inlined: one call per dispatch on the
+        # hottest path in the simulator).
+        index = self._index + 1
+        if index >= self._trace_len:
+            index = 0
+        self._index = index
+        gap = self._gaps[index]
+        self._cur_gap = gap
+        self._cur_line = self._lines[index]
+        self._cur_write = self._is_writes[index]
+        self._ready_cycle = front + gap / self.instructions_per_dram_cycle
         return True
+
+    def _block(self, cycle: int) -> bool:
+        """Record why this dispatch attempt failed; always returns False.
+
+        The wake cycle is the earliest future event that can change the
+        blocked state.  Retirement is strictly in-order, so of all pending
+        completions only the *head* of the instruction window matters: a
+        younger access completing earlier cannot unblock the window, free an
+        MSHR (DRAM reads re-arm the gate via :meth:`notify_completion`
+        instead) or move the retired-instruction count while the head is
+        stuck.  The head completion is skipped for front-end-blocked
+        finished cores: they dispatch nothing before the front-end is ready
+        and have no finish bookkeeping left.  A core with buffered posted
+        writes additionally retries whenever the controller issues
+        (write-queue space only frees on issue events).
+        """
+        front = self._ready_cycle
+        if front > cycle:
+            wake = math.ceil(front)
+            consider_head = self.finish_cycle is None
+        else:
+            wake = FAR_FUTURE
+            consider_head = True
+        if consider_head and self._outstanding:
+            completion = self._outstanding[0].completion_cycle
+            if completion is not None and cycle < completion < wake:
+                wake = completion
+        self._wake_cycle = wake
+        self._retry_on_issue = bool(self._pending_posted_writes)
+        return False
 
     def _post_write(self, controller: "MemoryController", address: int, cycle: int) -> None:
         """Send a posted (non-blocking) write to the memory controller.
@@ -253,38 +356,25 @@ class Core:
             # ahead of one that is still waiting for queue space.
             self._pending_posted_writes.append(address)
             return
-        request = MemoryRequest(
-            address=address,
-            request_type=RequestType.WRITE,
-            core_id=self.core_id,
-            arrival_cycle=cycle,
+        request = self.request_pool.acquire(
+            address, RequestType.WRITE, self.core_id, cycle
         )
         if not controller.enqueue(request):
+            self.request_pool.release(request)
             self._pending_posted_writes.append(address)
 
     def _drain_posted_writes(self, controller: "MemoryController", cycle: int) -> None:
         """Retry buffered posted writes while the queue accepts them."""
         pending = self._pending_posted_writes
+        pool = self.request_pool
         while pending:
-            request = MemoryRequest(
-                address=pending[0],
-                request_type=RequestType.WRITE,
-                core_id=self.core_id,
-                arrival_cycle=cycle,
+            request = pool.acquire(
+                pending[0], RequestType.WRITE, self.core_id, cycle
             )
             if not controller.enqueue(request):
+                pool.release(request)
                 return
             pending.popleft()
-
-    def _advance_cursor(self) -> None:
-        self._index += 1
-        if self._index >= len(self.trace):
-            self._index = 0
-        entry = self.trace[self._index]
-        self._entry = entry
-        self._ready_cycle = self._front_cycle + (
-            entry.gap_instructions / self.instructions_per_dram_cycle
-        )
 
     # ------------------------------------------------------------------ #
     # Retirement
@@ -297,6 +387,7 @@ class Core:
             if access.completion_cycle is None or access.completion_cycle > cycle:
                 return False
             self._outstanding.popleft()
+            self._access_pool.append(access)
         return True
 
     def _retire(self, cycle: int) -> None:
@@ -309,6 +400,7 @@ class Core:
             if completion is None or completion > cycle:
                 break
             outstanding.popleft()
+            self._access_pool.append(access)
             progressed = True
         if progressed:
             self._dispatched_since_retire = False

@@ -17,7 +17,7 @@ from pathlib import Path
 from typing import Iterable, Iterator, List, Sequence
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEntry:
     """One memory access of a trace.
 

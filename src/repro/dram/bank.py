@@ -32,7 +32,7 @@ class BankState(enum.Enum):
     ACTIVE = "active"
 
 
-@dataclass
+@dataclass(slots=True)
 class BankStats:
     """Per-bank command statistics (used by the energy model and tests)."""
 
@@ -53,6 +53,11 @@ class BankStats:
 
 class Bank:
     """A single DRAM bank with open-row state and timing bookkeeping."""
+
+    __slots__ = (
+        "bank_id", "timing", "state", "open_row", "stats",
+        "_next_act", "_next_pre", "_next_rd", "_next_wr", "last_act_cycle",
+    )
 
     def __init__(self, bank_id: int, timing: TimingParams) -> None:
         self.bank_id = bank_id

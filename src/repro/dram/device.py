@@ -26,7 +26,7 @@ from repro.dram.organization import DramOrganization
 from repro.dram.timing import TimingParams
 
 
-@dataclass
+@dataclass(slots=True)
 class RankState:
     """Rank-level activation window state (tRRD / tFAW)."""
 
@@ -77,12 +77,31 @@ class DramDevice:
         #: External ACT observers ``(bank_id, row, cycle)`` (e.g. the
         #: red-team disturbance oracle); independent of any mitigation.
         self._activation_listeners: List[Callable[[int, int, int], None]] = []
+        # Flattened event fan-out: the mitigation hook and every listener in
+        # one pre-bound list, so ``activate``/``precharge`` run a single
+        # truthiness check plus direct calls instead of re-testing the
+        # registry shape on every command.
+        self._act_hooks: List[Callable[[int, int, int], None]] = []
+        self._pre_hooks: List[Callable[[int, int, int], None]] = []
+        self._rebuild_hooks()
+
+    def _rebuild_hooks(self) -> None:
+        """Re-flatten the ACT/PRE fan-out lists (mitigation first)."""
+        act_hooks: List[Callable[[int, int, int], None]] = []
+        pre_hooks: List[Callable[[int, int, int], None]] = []
+        if self.mitigation is not None:
+            act_hooks.append(self.mitigation.on_activate)
+            pre_hooks.append(self.mitigation.on_precharge)
+        act_hooks.extend(self._activation_listeners)
+        self._act_hooks = act_hooks
+        self._pre_hooks = pre_hooks
 
     def add_activation_listener(
         self, listener: Callable[[int, int, int], None]
     ) -> None:
         """Subscribe to every ACT issued to this device."""
         self._activation_listeners.append(listener)
+        self._rebuild_hooks()
 
     # ------------------------------------------------------------------ #
     # Geometry helpers
@@ -184,18 +203,17 @@ class DramDevice:
         self.banks[bank_id].activate(row, cycle)
         self._record_rank_act(rank, cycle)
         self.command_counts["ACT"] += 1
-        if self.mitigation is not None:
-            self.mitigation.on_activate(bank_id, row, cycle)
-        if self._activation_listeners:
-            for listener in self._activation_listeners:
-                listener(bank_id, row, cycle)
+        if self._act_hooks:
+            for hook in self._act_hooks:
+                hook(bank_id, row, cycle)
 
     def precharge(self, bank_id: int, cycle: int) -> int:
         """Issue a PRE to ``bank_id``.  Returns the closed row."""
         closed_row = self.banks[bank_id].precharge(cycle)
         self.command_counts["PRE"] += 1
-        if self.mitigation is not None:
-            self.mitigation.on_precharge(bank_id, closed_row, cycle)
+        if self._pre_hooks:
+            for hook in self._pre_hooks:
+                hook(bank_id, closed_row, cycle)
         return closed_row
 
     def read(self, bank_id: int, cycle: int) -> int:

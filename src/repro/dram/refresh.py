@@ -28,7 +28,7 @@ from repro.dram.timing import TimingParams
 _FAR_FUTURE = 1 << 62
 
 
-@dataclass
+@dataclass(slots=True)
 class RankRefreshState:
     """Book-keeping for one rank."""
 

@@ -22,6 +22,23 @@ Entries are written atomically (temp file + ``os.replace``) so a crashed or
 interrupted run never leaves a half-written entry behind; a corrupted or
 schema-incompatible entry is deleted and treated as a miss, so the cache is
 self-healing.
+
+Concurrency: the store is safe for many concurrent writer *processes* by
+construction -- every entry lives in its own file and lands via an atomic
+rename, so there is no read-modify-write window anywhere (a monolithic
+single-JSON store would lose entries when two workers flush simultaneously;
+``tests/test_result_cache_concurrency.py`` pins this property with a
+multi-process stress test).  Sweep workers exploit it by streaming each finished result straight
+to disk from the worker process (see
+:meth:`~repro.experiments.sweep.SweepEngine.run_jobs`); the parent then
+:meth:`~ResultCache.absorb`\\ s the result into its memory layer without
+re-serialising anything.
+
+A legacy *monolithic* cache file (``<cache-dir>/cache.json`` holding every
+entry in one JSON object) is migrated into the sharded per-key layout the
+first time the directory is opened; the original file is kept as
+``cache.json.migrated`` for post-mortems.  Keys and
+:data:`CACHE_SCHEMA_VERSION` are unchanged by the migration.
 """
 
 from __future__ import annotations
@@ -48,6 +65,9 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 #: Default on-disk cache directory (relative to the working directory).
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Name of the legacy monolithic store migrated on first open.
+LEGACY_MONOLITHIC_NAME = "cache.json"
 
 
 def default_cache_dir() -> str:
@@ -108,6 +128,12 @@ class ResultCache:
         self.unique_hits = 0
         self.unique_misses = 0
         self._seen_keys: set = set()
+        #: Results inserted memory-only via :meth:`absorb` (already written
+        #: to disk by a worker process).
+        self.absorbed = 0
+        self.migrated_entries = 0
+        if self.directory is not None:
+            self._migrate_monolithic()
 
     # ------------------------------------------------------------------ #
     # Lookup / store
@@ -150,6 +176,16 @@ class ResultCache:
         self._memory[key] = result
         if self.directory is None:
             return
+        self._write_entry(key, result, job_payload)
+        self.stores += 1
+
+    def _write_entry(
+        self,
+        key: str,
+        result: SimulationResult,
+        job_payload: Optional[Dict[str, object]],
+    ) -> None:
+        """Atomically write one per-key entry file (concurrency-safe)."""
         entry = {
             "schema": CACHE_SCHEMA_VERSION,
             "key": key,
@@ -169,7 +205,56 @@ class ResultCache:
             if os.path.exists(tmp_path):
                 os.unlink(tmp_path)
             raise
-        self.stores += 1
+
+    def absorb(self, key: str, result: SimulationResult) -> None:
+        """Insert a result into the memory layer only.
+
+        Used for results a worker process already streamed to disk: the
+        parent keeps the in-process object identity guarantee without
+        re-serialising the entry.
+        """
+        self._memory[key] = result
+        self.absorbed += 1
+
+    # ------------------------------------------------------------------ #
+    # Legacy monolithic-store migration
+    # ------------------------------------------------------------------ #
+    def _migrate_monolithic(self) -> None:
+        """Split a legacy ``cache.json`` monolith into per-key shard files.
+
+        Entries whose schema no longer matches are dropped (the standard
+        self-healing rule); existing per-key files are never overwritten.
+        The monolith is renamed to ``cache.json.migrated`` afterwards, so
+        the migration runs exactly once even across concurrent openers
+        (``os.replace`` is atomic; a racing loser simply finds nothing left
+        to do).
+        """
+        assert self.directory is not None
+        path = os.path.join(self.directory, LEGACY_MONOLITHIC_NAME)
+        if not os.path.exists(path):
+            return
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                monolith = json.load(handle)
+        except (OSError, ValueError):
+            monolith = None
+        if isinstance(monolith, dict):
+            for key, entry in monolith.items():
+                if not isinstance(entry, dict):
+                    continue
+                if entry.get("schema") != CACHE_SCHEMA_VERSION:
+                    continue
+                try:
+                    result = result_from_dict(entry["result"])
+                except (ValueError, TypeError, KeyError):
+                    continue
+                if not os.path.exists(self._entry_path(key)):
+                    self._write_entry(key, result, entry.get("job"))
+                    self.migrated_entries += 1
+        try:
+            os.replace(path, path + ".migrated")
+        except OSError:
+            pass
 
     def contains(self, key: str) -> bool:
         """True if ``key`` is cached; never mutates the hit/miss counters."""
@@ -265,8 +350,12 @@ class ResultCache:
     def summary(self) -> str:
         """One-line, human-readable cache statistics."""
         location = self.directory or "memory-only"
+        stored = self.stores + self.absorbed
+        detail = f"{stored} stored"
+        if self.absorbed:
+            detail += f" ({self.absorbed} streamed by workers)"
         return (
             f"cache[{location}]: {self.unique_hits}/{self.unique_lookups} unique jobs "
             f"served ({self.hit_rate() * 100.0:.1f}% hit rate, {self.disk_hits} from disk, "
-            f"{self.stores} stored, {self.corrupt_entries} corrupt entries recovered)"
+            f"{detail}, {self.corrupt_entries} corrupt entries recovered)"
         )

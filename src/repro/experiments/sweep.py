@@ -33,8 +33,9 @@ order.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.attacks.oracle import DisturbanceOracle
@@ -50,13 +51,33 @@ from repro.workloads.mixes import build_mix_traces
 #: Environment variable read for the default worker count (0/1 = serial).
 WORKERS_ENV = "REPRO_SWEEP_WORKERS"
 
+#: Target number of shards per worker: more shards than workers is what
+#: makes the pool self-balancing (an idle worker steals the next shard from
+#: the shared queue), while sharding at all amortises pickling and process
+#: dispatch for very cheap jobs.
+SHARDS_PER_WORKER = 4
 
-def default_workers() -> int:
-    """Worker-process count used when none is given explicitly."""
-    try:
-        return int(os.environ.get(WORKERS_ENV, "0"))
-    except ValueError:
-        return 0
+
+def auto_workers() -> int:
+    """A sensible parallel worker count for this machine (capped at 8)."""
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+def default_workers(auto: bool = False) -> int:
+    """Worker-process count used when none is given explicitly.
+
+    ``$REPRO_SWEEP_WORKERS`` always wins.  Without it, the default is
+    serial (0) for programmatic :class:`SweepEngine` construction -- unit
+    tests and library users must opt in to multiprocessing -- while the CLI
+    passes ``auto=True`` to default to :func:`auto_workers`.
+    """
+    env = os.environ.get(WORKERS_ENV)
+    if env is not None:
+        try:
+            return int(env)
+        except ValueError:
+            return 0
+    return auto_workers() if auto else 0
 
 
 # --------------------------------------------------------------------------- #
@@ -302,6 +323,140 @@ def execute_job(job: SimJob) -> SimulationResult:
 
 
 # --------------------------------------------------------------------------- #
+# Cost model, shards and the worker entry point
+# --------------------------------------------------------------------------- #
+
+#: Relative per-access weight of each mechanism family, measured on the
+#: bench_hotpath reference set (PRAC-timing mechanisms simulate more cycles
+#: per access; PARA/PRFM serve extra maintenance traffic).  The estimate
+#: only needs to *rank* jobs so that long ones are dispatched first.
+_MECHANISM_COST = {
+    "None": 1.0,
+    "Chronus": 1.05,
+    "Chronus-PB": 1.05,
+    "Graphene": 1.05,
+    "Hydra": 1.1,
+    "ABACuS": 1.05,
+    "PARA": 1.25,
+    "PRFM": 1.2,
+    "PRAC-1": 1.15,
+    "PRAC-2": 1.15,
+    "PRAC-4": 1.15,
+    "PRAC+PRFM": 1.3,
+}
+
+
+def estimate_job_cost(job: SimJob) -> float:
+    """Relative wall-clock estimate of one job (unitless).
+
+    Dominated by the total access count across cores; attack-search probes
+    weigh extra because the compiled patterns hammer the row buffer (few
+    hits, many conflicts) and run under a disturbance oracle.
+    """
+    accesses = job.accesses_per_core * max(1, len(job.applications))
+    if job.attack_accesses:
+        accesses += job.attack_accesses
+    cost = float(max(1, accesses))
+    if job.attack is not None:
+        cost *= 4.0
+    cost *= _MECHANISM_COST.get(job.config.mechanism, 1.1)
+    cost *= job.config.organization.channels ** 0.5
+    return cost
+
+
+def build_shards(jobs: Sequence[SimJob], workers: int) -> List[List[SimJob]]:
+    """Split ``jobs`` into cost-balanced shards, most expensive first.
+
+    Longest-processing-time order: jobs are sorted by estimated cost
+    descending (key as a deterministic tie-break) and packed greedily into
+    shards of roughly ``total / (workers * SHARDS_PER_WORKER)`` cost.  Any
+    job at least that expensive gets a shard of its own, so a long
+    attack-search probe can never straggle behind a batch of cheap
+    baselines -- idle workers steal the remaining shards from the pool's
+    shared queue.
+    """
+    if not jobs:
+        return []
+    # Decorate once: the estimate is pure, so compute it one time per job.
+    costed = sorted(
+        ((estimate_job_cost(job), job) for job in jobs),
+        key=lambda pair: (-pair[0], pair[1].key),
+    )
+    total = sum(cost for cost, _ in costed)
+    target = total / max(1, workers * SHARDS_PER_WORKER)
+    shards: List[List[SimJob]] = []
+    current: List[SimJob] = []
+    current_cost = 0.0
+    for cost, job in costed:
+        if current and current_cost + cost > target:
+            shards.append(current)
+            current = []
+            current_cost = 0.0
+        current.append(job)
+        current_cost += cost
+    if current:
+        shards.append(current)
+    return shards
+
+
+def execute_shard(
+    jobs: Sequence[SimJob], cache_dir: Optional[str]
+) -> Tuple[float, List[SimulationResult]]:
+    """Worker-process entry point: run a shard, streaming results to disk.
+
+    Each finished result is written straight into the sharded per-key cache
+    from the worker (atomic per-entry files, so N workers never serialize
+    on a shared store); the parent only absorbs the returned objects into
+    its memory layer.  Returns ``(elapsed_seconds, results)`` in job order.
+    """
+    start = time.perf_counter()
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    results: List[SimulationResult] = []
+    for job in jobs:
+        result = execute_job(job)
+        if cache is not None:
+            cache.put(job.key, result, job.cache_payload())
+        results.append(result)
+    return time.perf_counter() - start, results
+
+
+@dataclass(frozen=True)
+class ShardReport:
+    """Timing record of one executed shard."""
+
+    shard: int
+    jobs: int
+    estimated_cost: float
+    seconds: float
+
+
+@dataclass
+class RunReport:
+    """What one :meth:`SweepEngine.run_jobs` call actually did."""
+
+    total_jobs: int = 0
+    cached_jobs: int = 0
+    executed_jobs: int = 0
+    workers: int = 0
+    wall_seconds: float = 0.0
+    shards: List[ShardReport] = field(default_factory=list)
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable per-shard timing block (CLI output)."""
+        lines = [
+            f"run: {self.total_jobs} jobs ({self.cached_jobs} cached, "
+            f"{self.executed_jobs} executed, workers={self.workers}) "
+            f"in {self.wall_seconds:.2f}s"
+        ]
+        for report in self.shards:
+            lines.append(
+                f"  shard {report.shard:>3}: {report.jobs:>3} job(s)  "
+                f"{report.seconds:7.2f}s  (est. cost {report.estimated_cost:,.0f})"
+            )
+        return lines
+
+
+# --------------------------------------------------------------------------- #
 # Sweep specification
 # --------------------------------------------------------------------------- #
 
@@ -399,7 +554,18 @@ class SweepSpec:
 # --------------------------------------------------------------------------- #
 
 class SweepEngine:
-    """Executes :class:`SimJob`\\ s with memoisation and optional parallelism."""
+    """Executes :class:`SimJob`\\ s with memoisation and optional parallelism.
+
+    Parallel execution keeps one **persistent** process pool alive across
+    ``run()`` / ``run_jobs()`` calls (spawning workers costs ~100 ms each;
+    iterative users -- the red-team bisection, figure benchmarks -- call the
+    engine many times).  Missing jobs are packed into cost-estimated shards
+    dispatched longest-first, and since several shards exist per worker the
+    pool self-balances: a worker finishing a cheap shard steals the next one
+    instead of idling behind a long attack-search job.  Workers stream every
+    finished result into the on-disk cache themselves (atomic per-key
+    files), so result persistence never serialises on the parent.
+    """
 
     def __init__(
         self,
@@ -411,12 +577,41 @@ class SweepEngine:
         Args:
             cache: result cache; a fresh memory-only cache when omitted.
             workers: worker-process count; ``None`` reads the
-                ``REPRO_SWEEP_WORKERS`` environment variable, and values
-                below 2 execute serially in-process.
+                ``REPRO_SWEEP_WORKERS`` environment variable (serial when
+                unset), and values below 2 execute serially in-process.
         """
         self.cache = cache if cache is not None else ResultCache()
         self.workers = default_workers() if workers is None else workers
         self.executed_jobs = 0
+        #: Report of the most recent :meth:`run_jobs` call.
+        self.last_run_report = RunReport()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_workers = 0
+
+    # ------------------------------------------------------------------ #
+    # Pool lifecycle
+    # ------------------------------------------------------------------ #
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        """Return the persistent pool, (re)creating it on first use or
+        after a worker-count change."""
+        if self._pool is None or self._pool_workers != self.workers:
+            self.close()
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            self._pool_workers = self.workers
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the persistent worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+            self._pool_workers = 0
+
+    def __enter__(self) -> "SweepEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -434,10 +629,12 @@ class SweepEngine:
         """Run a batch of jobs, returning ``{job.key: result}``.
 
         Cached jobs are served immediately; the remainder executes either
-        serially or across worker processes.  The result mapping is
-        independent of execution order, so parallel and serial runs are
+        serially or across the persistent worker pool (cost-balanced
+        shards, longest first).  The result mapping is independent of
+        execution order and worker count, so parallel and serial runs are
         interchangeable.
         """
+        start = time.perf_counter()
         unique: Dict[str, SimJob] = {}
         for job in jobs:
             unique.setdefault(job.key, job)
@@ -449,18 +646,79 @@ class SweepEngine:
                 results[key] = cached
             else:
                 missing.append(job)
-        if not missing:
-            return results
-        if self.workers >= 2 and len(missing) > 1:
-            with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                executed = list(pool.map(execute_job, missing))
-        else:
-            executed = [execute_job(job) for job in missing]
-        for job, result in zip(missing, executed):
+        report = RunReport(
+            total_jobs=len(unique),
+            cached_jobs=len(unique) - len(missing),
+            workers=self.workers,
+        )
+        if missing:
+            if self.workers >= 2 and len(missing) > 1:
+                self._run_sharded(missing, results, report)
+            else:
+                self._run_serial(missing, results, report)
+            report.executed_jobs = len(missing)
+        report.wall_seconds = time.perf_counter() - start
+        self.last_run_report = report
+        return results
+
+    def _run_serial(
+        self,
+        missing: List[SimJob],
+        results: Dict[str, SimulationResult],
+        report: RunReport,
+    ) -> None:
+        shard_start = time.perf_counter()
+        for job in missing:
+            result = execute_job(job)
             self.executed_jobs += 1
             self.cache.put(job.key, result, job.cache_payload())
             results[job.key] = result
-        return results
+        report.shards.append(
+            ShardReport(
+                shard=0,
+                jobs=len(missing),
+                estimated_cost=sum(estimate_job_cost(job) for job in missing),
+                seconds=time.perf_counter() - shard_start,
+            )
+        )
+
+    def _run_sharded(
+        self,
+        missing: List[SimJob],
+        results: Dict[str, SimulationResult],
+        report: RunReport,
+    ) -> None:
+        shards = build_shards(missing, self.workers)
+        pool = self._ensure_pool()
+        cache_dir = self.cache.directory
+        pending = {
+            pool.submit(execute_shard, shard, cache_dir): (index, shard)
+            for index, shard in enumerate(shards)
+        }
+        stream_to_disk = cache_dir is not None
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                index, shard = pending.pop(future)
+                elapsed, executed = future.result()
+                for job, result in zip(shard, executed):
+                    self.executed_jobs += 1
+                    if stream_to_disk:
+                        # The worker already wrote the disk entry.
+                        self.cache.absorb(job.key, result)
+                    else:
+                        self.cache.put(job.key, result, job.cache_payload())
+                    results[job.key] = result
+                report.shards.append(
+                    ShardReport(
+                        shard=index,
+                        jobs=len(shard),
+                        estimated_cost=sum(
+                            estimate_job_cost(job) for job in shard
+                        ),
+                        seconds=elapsed,
+                    )
+                )
 
     def run(self, spec: SweepSpec) -> Dict[str, SimulationResult]:
         """Expand and run a whole sweep."""

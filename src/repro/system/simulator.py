@@ -26,6 +26,11 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 from repro.controller.address_mapping import mapping_by_name
 from repro.controller.controller import MemoryController
+from repro.controller.request import RequestPool, RequestType
+
+#: Hoisted enum member for the completion-drain loop (attribute lookups on
+#: the enum class are surprisingly costly on this path).
+_READ = RequestType.READ
 from repro.controller.router import ChannelRouter
 from repro.core.factory import MechanismSetup, build_mechanism
 from repro.cpu.cache import Cache
@@ -119,6 +124,10 @@ class SystemSimulator:
             associativity=config.llc_associativity,
             line_size=config.llc_line_size,
         )
+        # One request pool for the whole system: requests are recycled as
+        # soon as their completion is drained, so the steady-state request
+        # path allocates nothing.
+        self._request_pool = RequestPool()
         self.cores = [
             Core(
                 core_id=index,
@@ -130,6 +139,7 @@ class SystemSimulator:
                 max_outstanding=config.max_outstanding,
                 llc_hit_latency=config.llc_hit_latency,
                 bypass_llc=index in config.attacker_cores,
+                request_pool=self._request_pool,
             )
             for index, trace in enumerate(self.traces)
         ]
@@ -155,6 +165,11 @@ class SystemSimulator:
 
     def _oracle_act_sink(self, channel: int) -> Callable[[int, int, int], None]:
         oracle = self.oracle
+        if channel == 0:
+            # Pre-bound method: ``on_activate`` defaults to channel 0, so the
+            # per-ACT closure frame is dropped from the single-channel (and
+            # channel-0) fan-out path.
+            return oracle.on_activate
 
         def sink(bank_id: int, row: int, cycle: int) -> None:
             oracle.on_activate(bank_id, row, cycle, channel=channel)
@@ -187,29 +202,54 @@ class SystemSimulator:
         cycle = self.cycle
         cores = self.cores
         router = self.router
+        router_tick = router.tick
+        router_drain = router.drain_completed
+        pool = self._request_pool
+        release = pool.release
         max_cycles = self.config.max_cycles
         strict = self.strict_tick
+        # Whether the previous loop iteration issued a DRAM command: queue
+        # space only frees on issue events, so queue-blocked cores retry
+        # exactly then (matching the ungated schedule cycle for cycle).
+        prev_issued = True
 
         while True:
-            for core in cores:
-                while core.try_issue(cycle, router):
-                    pass
-            issued, hint = router.tick(cycle, force=strict)
-            completed = router.drain_completed()
-            for request in completed:
-                if request.is_read:
-                    cores[request.core_id].notify_completion(request, cycle)
-
             finished_all = True
             for core in cores:
-                if not core.finished:
+                # Issue gating: a call is skipped only when the core's own
+                # wake bookkeeping proves it would be a no-op -- the blocked
+                # state can change at ``_wake_cycle`` (front-end readiness /
+                # a known completion), on a completion notification (which
+                # resets the wake), or -- for queue-blocked cores -- after an
+                # issue event.  Strict-tick keeps the ungated reference path.
+                if (
+                    strict
+                    or cycle >= core._wake_cycle
+                    or (prev_issued and core._retry_on_issue)
+                ):
+                    while core.try_issue(cycle, router):
+                        pass
+                # Finish state only changes inside try_issue (retirement),
+                # which has run for this iteration, so the check fuses here.
+                if core.finish_cycle is None:
                     finished_all = False
-                    break
+            issued, hint = router_tick(cycle, force=strict)
+            completed = router_drain()
+            if completed:
+                for request in completed:
+                    if request.request_type is _READ:
+                        cores[request.core_id].notify_completion(request, cycle)
+                    # The request is dead: nothing references it any more
+                    # (cores drop theirs during notification), so it can be
+                    # recycled for the next dispatch.
+                    release(request)
+
             if finished_all:
                 break
             if cycle >= max_cycles:
                 break
 
+            prev_issued = issued
             if completed and not issued:
                 # Completions that land on the current cycle unblock the
                 # cores immediately; give them a chance to react before
@@ -225,8 +265,11 @@ class SystemSimulator:
                 # trace to preserve memory contention (weighted-speedup
                 # methodology), so their issue events are real events -- a
                 # skip over them would make the background traffic depend on
-                # the wake pattern instead of on simulated time.
-                event = core.next_event_cycle(cycle)
+                # the wake pattern instead of on simulated time.  The cached
+                # wake is exact: it was computed when the core last blocked
+                # and nothing has changed it since (else the core would have
+                # been eligible above and refreshed it).
+                event = core._wake_cycle
                 if event < wake:
                     wake = event
             if wake <= cycle:

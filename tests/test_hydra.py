@@ -39,7 +39,10 @@ class TestRowCountCache:
 
 class TestHydra:
     def make(self, nrh=64, **kwargs):
-        defaults = dict(num_banks=2, group_size=4, rcc_entries=8)
+        # Dict reference backend: these tests pin the update rules via the
+        # internal GCT/RCT mappings; tests/test_counter_backends.py pins the
+        # array backend's observable equivalence against it.
+        defaults = dict(num_banks=2, group_size=4, rcc_entries=8, backend="dict")
         defaults.update(kwargs)
         return Hydra(nrh=nrh, **defaults)
 

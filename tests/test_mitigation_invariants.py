@@ -134,11 +134,10 @@ def iter_counter_values(mechanism: MitigationMechanism):
             for entry in table.entries.values():
                 yield entry.count
     if isinstance(mechanism, Hydra):
-        yield from mechanism._gct.values()
-        yield from mechanism._rct.values()
+        yield from mechanism.iter_count_values()
     if isinstance(mechanism, ABACuS):
-        yield mechanism._spillover
-        for entry in mechanism._table.values():
+        yield mechanism.spillover
+        for entry in mechanism.sibling_entries().values():
             yield entry.count
 
 
@@ -262,10 +261,9 @@ def assert_tracking_cleared(mechanism: MitigationMechanism) -> None:
     if isinstance(mechanism, Graphene):
         assert all(table.max_count() == 0 for table in mechanism.tables)
     if isinstance(mechanism, ABACuS):
-        assert not mechanism._table and mechanism._spillover == 0
+        assert not mechanism.sibling_entries() and mechanism.spillover == 0
     if isinstance(mechanism, Hydra):
-        assert not mechanism._gct and not mechanism._rct
-        assert not mechanism._tracked_groups
+        assert not any(mechanism.iter_count_values())
 
 
 @pytest.mark.parametrize("name", ACTIVE_MECHANISMS)

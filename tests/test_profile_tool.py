@@ -1,0 +1,61 @@
+"""Smoke tests for the cProfile entry point (tools/profile_run.py)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+TOOLS = os.path.join(REPO_ROOT, "tools")
+
+
+sys.path.insert(0, TOOLS)
+from profile_run import resolve_mechanism  # noqa: E402
+
+
+class TestMechanismResolution:
+    def test_case_insensitive_and_aliases(self):
+        assert resolve_mechanism("prac") == "PRAC-4"
+        assert resolve_mechanism("chronus") == "Chronus"
+        assert resolve_mechanism("GRAPHENE") == "Graphene"
+        assert resolve_mechanism("prac+prfm") == "PRAC+PRFM"
+
+    def test_unknown_mechanism_raises(self):
+        with pytest.raises(ValueError):
+            resolve_mechanism("not-a-mechanism")
+
+
+def test_cli_prints_top_hotspots():
+    """`python -m tools.profile_run` runs a sim and prints a pstats table."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + os.pathsep + REPO_ROOT
+    result = subprocess.run(
+        [
+            sys.executable, "-m", "tools.profile_run",
+            "--mechanism", "prac", "--channels", "2",
+            "--accesses", "120", "--top", "5",
+        ],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env=env,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "profiling PRAC-4" in result.stdout
+    assert "cumulative" in result.stdout  # the pstats sort header
+    assert "simulated" in result.stdout
+
+
+def test_cli_rejects_unknown_mechanism():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + os.pathsep + REPO_ROOT
+    result = subprocess.run(
+        [sys.executable, "-m", "tools.profile_run", "--mechanism", "bogus"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env=env,
+    )
+    assert result.returncode == 2
+    assert "unknown mechanism" in result.stderr

@@ -1,0 +1,298 @@
+"""ResultCache concurrency, legacy migration, and the sharded sweep tier.
+
+The concurrent-writer regression is the PR 5 satellite fix: a monolithic
+single-JSON store loses entries when two workers read-modify-write it at the
+same time.  The sharded per-key layout has no such window -- every entry is
+its own file landed by an atomic rename -- and the stress test here drives
+real concurrent writer *processes* against one directory to pin that.
+"""
+
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.experiments.cache import (
+    CACHE_SCHEMA_VERSION,
+    LEGACY_MONOLITHIC_NAME,
+    ResultCache,
+    result_to_dict,
+)
+from repro.experiments.sweep import (
+    SHARDS_PER_WORKER,
+    SweepEngine,
+    SweepSpec,
+    attack_search_job,
+    build_shards,
+    estimate_job_cost,
+    mechanism_job,
+)
+from repro.system.config import paper_system_config
+from repro.system.metrics import SimulationResult
+
+
+def make_result(tag: int) -> SimulationResult:
+    return SimulationResult(
+        mechanism="None",
+        nrh=64,
+        workload=f"w{tag}",
+        cycles=100 + tag,
+        core_ipcs=[1.0],
+        core_names=[f"c{tag}"],
+        command_counts={"ACT": tag},
+        controller_stats={},
+        mitigation_stats={},
+        energy_nj=float(tag),
+        energy_breakdown={},
+        is_secure=True,
+    )
+
+
+def _write_batch(args):
+    """Worker entry point: put a batch of (key, tag) entries into one dir."""
+    directory, pairs = args
+    cache = ResultCache(directory)
+    for key, tag in pairs:
+        cache.put(key, make_result(tag), {"tag": tag})
+    return len(pairs)
+
+
+class TestConcurrentWriters:
+    def test_parallel_writers_lose_no_entries(self, tmp_path):
+        """Regression: N processes writing simultaneously keep every entry.
+
+        With a monolithic JSON store two workers finishing at the same time
+        race on the read-modify-write and one of them erases the other's
+        entry; the sharded per-key layout must never drop one.
+        """
+        directory = str(tmp_path / "cache")
+        writers = 4
+        per_writer = 25
+        batches = [
+            (directory, [(f"key-{w}-{i}", w * per_writer + i)
+                         for i in range(per_writer)])
+            for w in range(writers)
+        ]
+        with ProcessPoolExecutor(max_workers=writers) as pool:
+            assert sum(pool.map(_write_batch, batches)) == writers * per_writer
+        cache = ResultCache(directory)
+        assert cache.disk_entry_count() == writers * per_writer
+        for w in range(writers):
+            for i in range(per_writer):
+                result = cache.get(f"key-{w}-{i}")
+                assert result is not None
+                assert result.cycles == 100 + w * per_writer + i
+
+    def test_same_key_concurrent_writers_leave_valid_entry(self, tmp_path):
+        """Two writers racing on one key: either wins, the file stays valid."""
+        directory = str(tmp_path / "cache")
+        batches = [
+            (directory, [("shared-key", 1)]),
+            (directory, [("shared-key", 2)]),
+        ]
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            list(pool.map(_write_batch, batches))
+        result = ResultCache(directory).get("shared-key")
+        assert result is not None
+        assert result.cycles in (101, 102)
+
+
+class TestMonolithicMigration:
+    def _write_monolith(self, directory, entries):
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, LEGACY_MONOLITHIC_NAME)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(entries, handle)
+        return path
+
+    def test_entries_migrate_to_sharded_files(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        entries = {
+            f"legacy-{i}": {
+                "schema": CACHE_SCHEMA_VERSION,
+                "key": f"legacy-{i}",
+                "job": {"tag": i},
+                "result": result_to_dict(make_result(i)),
+            }
+            for i in range(3)
+        }
+        path = self._write_monolith(directory, entries)
+        cache = ResultCache(directory)
+        assert cache.migrated_entries == 3
+        assert not os.path.exists(path)
+        assert os.path.exists(path + ".migrated")
+        assert cache.disk_entry_count() == 3
+        # Migration must not warm the memory layer or the hit statistics.
+        assert cache.stores == 0
+        for i in range(3):
+            result = cache.get(f"legacy-{i}")
+            assert result is not None and result.cycles == 100 + i
+        assert cache.disk_hits == 3
+
+    def test_stale_schema_entries_are_dropped(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        entries = {
+            "stale": {
+                "schema": CACHE_SCHEMA_VERSION - 1,
+                "key": "stale",
+                "result": result_to_dict(make_result(1)),
+            },
+            "good": {
+                "schema": CACHE_SCHEMA_VERSION,
+                "key": "good",
+                "result": result_to_dict(make_result(2)),
+            },
+        }
+        self._write_monolith(directory, entries)
+        cache = ResultCache(directory)
+        assert cache.migrated_entries == 1
+        assert cache.get("stale") is None
+        assert cache.get("good") is not None
+
+    def test_migration_runs_once(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        self._write_monolith(directory, {})
+        ResultCache(directory)
+        second = ResultCache(directory)
+        assert second.migrated_entries == 0
+
+    def test_corrupt_monolith_is_parked_not_fatal(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        os.makedirs(directory)
+        path = os.path.join(directory, LEGACY_MONOLITHIC_NAME)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{ not json")
+        cache = ResultCache(directory)
+        assert cache.migrated_entries == 0
+        assert os.path.exists(path + ".migrated")
+
+
+class TestAbsorb:
+    def test_absorb_populates_memory_only(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        cache = ResultCache(directory)
+        cache.absorb("k", make_result(5))
+        assert cache.absorbed == 1
+        assert cache.stores == 0
+        assert cache.disk_entry_count() == 0  # the worker wrote it elsewhere
+        assert cache.get("k").cycles == 105
+        assert "stored" in cache.summary()
+
+
+SMALL_SPEC = SweepSpec(
+    mechanisms=("Chronus",),
+    nrh_values=(1024,),
+    mixes=(("429.mcf", "401.bzip2"), ("429.mcf",)),
+    accesses_per_core=150,
+)
+
+
+class TestShardPlanning:
+    def _jobs(self):
+        base = paper_system_config()
+        return [
+            mechanism_job(base, ("429.mcf",), "Chronus", 1024, accesses, seed=seed)
+            for seed, accesses in enumerate((100, 200, 400, 800, 1600, 3200))
+        ]
+
+    def test_longest_jobs_dispatch_first(self):
+        shards = build_shards(self._jobs(), workers=2)
+        costs = [sum(estimate_job_cost(job) for job in shard) for shard in shards]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_shard_count_bounded(self):
+        jobs = self._jobs()
+        shards = build_shards(jobs, workers=2)
+        assert sum(len(shard) for shard in shards) == len(jobs)
+        assert len(shards) <= max(len(jobs), 2 * SHARDS_PER_WORKER)
+        assert build_shards([], workers=4) == []
+
+    def test_attack_probes_cost_more_than_benign_jobs(self):
+        from repro.attacks.patterns import AttackSpec
+
+        base = paper_system_config()
+        benign = mechanism_job(base, ("429.mcf",), "Chronus", 1024, 500)
+        probe = attack_search_job(
+            base, "Chronus", 1024, AttackSpec.create("single_sided"),
+            accesses_per_core=500,
+        )
+        assert estimate_job_cost(probe) > estimate_job_cost(benign)
+
+
+class TestPersistentPoolEngine:
+    def test_pool_persists_across_runs(self, tmp_path):
+        engine = SweepEngine(
+            cache=ResultCache(str(tmp_path / "cache")), workers=2
+        )
+        try:
+            engine.run(SMALL_SPEC)
+            pool = engine._pool
+            assert pool is not None
+            # A second run (new jobs via a different seed) reuses the pool.
+            second = SweepSpec(
+                mechanisms=("Chronus",),
+                nrh_values=(1024,),
+                mixes=(("429.mcf",),),
+                accesses_per_core=150,
+                seed=7,
+            )
+            engine.run(second)
+            assert engine._pool is pool
+        finally:
+            engine.close()
+        assert engine._pool is None
+
+    def test_workers_stream_results_to_disk(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        engine = SweepEngine(cache=cache, workers=2)
+        try:
+            results = engine.run(SMALL_SPEC)
+        finally:
+            engine.close()
+        assert results
+        # Every executed entry was written by a worker and only absorbed by
+        # the parent -- no parent-side serialisation.
+        assert cache.absorbed == engine.executed_jobs > 0
+        assert cache.stores == 0
+        assert cache.disk_entry_count() == engine.executed_jobs
+        # A fresh engine over the same directory is served from disk.
+        cold = SweepEngine(cache=ResultCache(str(tmp_path / "cache")), workers=0)
+        cold.run(SMALL_SPEC)
+        assert cold.executed_jobs == 0
+
+    def test_run_report_records_shards_and_hits(self, tmp_path):
+        engine = SweepEngine(
+            cache=ResultCache(str(tmp_path / "cache")), workers=2
+        )
+        try:
+            engine.run(SMALL_SPEC)
+            report = engine.last_run_report
+            assert report.executed_jobs == report.total_jobs > 0
+            assert report.cached_jobs == 0
+            assert sum(s.jobs for s in report.shards) == report.executed_jobs
+            assert all(s.seconds >= 0.0 for s in report.shards)
+            engine.run(SMALL_SPEC)
+            warm = engine.last_run_report
+            assert warm.executed_jobs == 0
+            assert warm.cached_jobs == warm.total_jobs
+            assert warm.shards == []
+            lines = warm.summary_lines()
+            assert any("cached" in line for line in lines)
+        finally:
+            engine.close()
+
+    def test_serial_and_sharded_results_identical(self, tmp_path):
+        serial = SweepEngine(workers=0).run(SMALL_SPEC)
+        engine = SweepEngine(workers=2)
+        try:
+            sharded = engine.run(SMALL_SPEC)
+        finally:
+            engine.close()
+        assert json.dumps(
+            {k: result_to_dict(v) for k, v in sorted(serial.items())},
+            sort_keys=True,
+        ) == json.dumps(
+            {k: result_to_dict(v) for k, v in sorted(sharded.items())},
+            sort_keys=True,
+        )
