@@ -89,6 +89,7 @@ class MemoryController:
         scheduler_cap: int = 4,
         write_drain_high: int = 48,
         write_drain_low: int = 16,
+        fast_kernels: bool = False,
     ) -> None:
         self.device = device
         self.mapping = mapping
@@ -136,6 +137,33 @@ class MemoryController:
         # fell into the past forces a recompute (see _next_event_hint).
         self._demand_hint: Optional[int] = None
 
+        # Batch fast kernels (see docs/ARCHITECTURE.md, "Batch-vectorized
+        # kernels").  When enabled:
+        #
+        # * ``enqueue`` folds the new request's bank readiness into the
+        #   cached demand hint instead of dropping it (the other banks'
+        #   readiness is unchanged, so the min stays exact);
+        # * ``_service_demand`` skips the FR-FCFS scan outright when the
+        #   cached hint proves no queued bank has a legal command at this
+        #   cycle.  The skip additionally requires ``_demand_ready_now`` to
+        #   be False: a bank that was already ready when the hint was
+        #   computed is excluded from the strictly-future minimum, yet may
+        #   become servable later without any issue event (e.g. the write
+        #   drain hysteresis flips the active queue on an enqueue), so its
+        #   presence disables the skip until the next recompute;
+        # * ``_next_event_hint`` caches the refresh-pending bank scan, whose
+        #   inputs only change on refresh accrual, an enqueue that raises a
+        #   rank's demand (which can only *remove* scan events -- an early
+        #   hint is a wasted wake, never a behaviour change) or an issued
+        #   command.
+        #
+        # The scalar engine keeps ``fast_kernels=False`` and stays the
+        # simple reference implementation; the batch-vs-scalar equivalence
+        # tests pin byte-identical results.
+        self._fast = fast_kernels
+        self._demand_ready_now = True
+        self._refresh_scan_hint: Optional[int] = None
+
         self.stats = ControllerStats()
 
     # ------------------------------------------------------------------ #
@@ -171,7 +199,18 @@ class MemoryController:
         else:
             bucket.append(request)
         self._rank_demand[request.bank_id // self._banks_per_rank] += 1
-        self._demand_hint = None
+        if self._fast:
+            # Incremental maintenance: only the enqueued bank gained a new
+            # readiness event, so fold it into the cached minimum.  A value
+            # at or below the current cycle makes the hint stale, which
+            # forces the usual recompute at the next idle wake.
+            hint = self._demand_hint
+            if hint is not None:
+                ready = self._bank_demand_ready(request.bank_id, request.is_read)
+                if ready < hint:
+                    self._demand_hint = ready
+        else:
+            self._demand_hint = None
         return True
 
     def _dequeue(self, request: MemoryRequest, is_read: bool) -> None:
@@ -223,6 +262,9 @@ class MemoryController:
         refresh = self.refresh
         if cycle >= refresh._next_accrual:
             refresh.tick(cycle)
+            # Accrual changes pending counts / urgency: the cached
+            # refresh-pending bank scan is void.
+            self._refresh_scan_hint = None
         reads = self._inflight_reads
         if reads and reads[0].completion_cycle <= cycle:
             self._retire_inflight(cycle)
@@ -235,6 +277,7 @@ class MemoryController:
                 )
 
         issued = self._service_backoff(cycle)
+        demand_issue = False
         if not issued and not self._backoff_blocks_traffic(cycle):
             # Guards inlined: each service stage is only entered when its
             # work queue is non-empty (this tick runs every busy cycle).
@@ -249,11 +292,19 @@ class MemoryController:
                     and self._service_preventive(cycle)
                 )
             if not issued:
-                issued = self._service_demand(cycle)
+                issued = demand_issue = self._service_demand(cycle)
         if issued:
             # Any command changes bank/rank readiness: drop the cached
-            # demand hint.
-            self._demand_hint = None
+            # demand hint (and the refresh-scan hint it feeds).  Fast-kernel
+            # exception: a *demand* command only moves the served bank's own
+            # readiness (its rank-level side effects push other banks later,
+            # which keeps the cached minimum early-but-never-late), and
+            # _service_demand already folded that bank back in -- so the
+            # cached minimum survives demand bursts instead of forcing a
+            # full bucket rescan at the next idle wake.
+            if not (self._fast and demand_issue):
+                self._demand_hint = None
+            self._refresh_scan_hint = None
             return True, cycle + 1
         return False, self._next_event_hint(cycle)
 
@@ -266,6 +317,7 @@ class MemoryController:
         with an up-to-date due cycle), exactly as ``tick`` would.
         """
         self.refresh.tick(cycle)
+        self._refresh_scan_hint = None
         return self._next_event_hint(cycle)
 
     def _backoff_blocks_traffic(self, cycle: int) -> bool:
@@ -439,6 +491,17 @@ class MemoryController:
 
     def _service_demand(self, cycle: int) -> bool:
         is_read = self._active_queue_is_reads()
+        if self._fast:
+            # Batch fast path: the cached demand hint is the exact minimum
+            # readiness over every queued bank of *both* queues, so a
+            # strictly-future hint proves no candidate can issue -- the
+            # whole FR-FCFS scan (pure on failure) is skipped.  The
+            # hysteresis above still ran, so the drain flag's trajectory is
+            # unchanged.  Disabled while a blocked-but-ready bank exists
+            # (see __init__).
+            hint = self._demand_hint
+            if hint is not None and cycle < hint and not self._demand_ready_now:
+                return False
         if is_read:
             if not self._read_count:
                 return False
@@ -447,6 +510,8 @@ class MemoryController:
             buckets = self._write_buckets
         request = self.scheduler.choose_from_buckets(buckets, self.device)
         if request is not None and self._serve_request(request, is_read, buckets, cycle):
+            if self._fast:
+                self._fold_bank_hint(request.bank_id)
             return True
         # First-ready fallback: try any request whose next command is legal.
         # Per bank only three requests can differ in outcome -- the bucket
@@ -487,6 +552,8 @@ class MemoryController:
         candidates.sort(key=lambda r: r.request_id)
         for request in candidates:
             if self._serve_request(request, is_read, buckets, cycle):
+                if self._fast:
+                    self._fold_bank_hint(request.bank_id)
                 return True
         return False
 
@@ -637,24 +704,40 @@ class MemoryController:
                 if cycle < ready < best:
                     best = ready
         else:
-            pending_ranks = self.refresh.ranks_needing_refresh()
-            if pending_ranks:
-                rank_demand = self._rank_demand
-                for rank in pending_ranks:
-                    # A postponed REF is only actionable when urgent or when
-                    # the rank is idle; otherwise the next refresh event is
-                    # the accrual boundary already covered above.
-                    if not self.refresh.refresh_urgent(rank) and rank_demand[rank]:
-                        continue
-                    for bank_id in device.banks_in_rank(rank):
-                        bank = banks[bank_id]
-                        ready = (
-                            bank._next_pre
-                            if bank.state is BankState.ACTIVE
-                            else bank._next_act
-                        )
-                        if cycle < ready < best:
-                            best = ready
+            # The pending-rank bank scan is cached on the batch fast path:
+            # its inputs only change on refresh accrual, an issued command
+            # (both drop the cache) or an enqueue (which can only remove
+            # scan events -- a too-early hint is a wasted wake, never a
+            # behaviour change).  A cached value in the past is stale.
+            scan = self._refresh_scan_hint
+            if self._fast and scan is not None and scan > cycle:
+                if scan < best:
+                    best = scan
+            else:
+                scan = FAR_FUTURE
+                pending_ranks = self.refresh.ranks_needing_refresh()
+                if pending_ranks:
+                    rank_demand = self._rank_demand
+                    for rank in pending_ranks:
+                        # A postponed REF is only actionable when urgent or
+                        # when the rank is idle; otherwise the next refresh
+                        # event is the accrual boundary already covered
+                        # above.
+                        if not self.refresh.refresh_urgent(rank) and rank_demand[rank]:
+                            continue
+                        for bank_id in device.banks_in_rank(rank):
+                            bank = banks[bank_id]
+                            ready = (
+                                bank._next_pre
+                                if bank.state is BankState.ACTIVE
+                                else bank._next_act
+                            )
+                            if cycle < ready < scan:
+                                scan = ready
+                if self._fast:
+                    self._refresh_scan_hint = scan
+                if scan < best:
+                    best = scan
 
         # Demand requests, bucketed per bank.  Both queues contribute: the
         # write queue may become the active queue as soon as it drains.
@@ -700,6 +783,53 @@ class MemoryController:
 
         return best
 
+    def _fold_bank_hint(self, bank_id: int) -> None:
+        """Fold one served bank's new readiness into the cached demand hint.
+
+        Called after a demand command issued on ``bank_id`` (fast kernels
+        only).  The fold is deliberately conservative: for an open bank it
+        takes the minimum over read, write and precharge release without
+        checking which queues the bank actually sits in, and for a closed
+        bank it ignores the rank-level ACT constraints -- a value at or
+        below the bank's true next event keeps the cached minimum
+        early-but-never-late (an early hint is a wasted wake; a late one
+        would change behaviour).
+        """
+        hint = self._demand_hint
+        if hint is None:
+            return
+        bank = self.device.banks[bank_id]
+        if bank.open_row is None:
+            ready = bank._next_act
+        else:
+            ready = bank._next_rd
+            if bank._next_wr < ready:
+                ready = bank._next_wr
+            if bank._next_pre < ready:
+                ready = bank._next_pre
+        if ready < hint:
+            self._demand_hint = ready
+
+    def _bank_demand_ready(self, bank_id: int, is_read: bool) -> int:
+        """Readiness of one queued bank (the per-bank body of
+        :meth:`_demand_ready_cycle`), for incremental hint maintenance."""
+        bank = self.device.banks[bank_id]
+        if bank.open_row is None:
+            ready = bank._next_act
+            state = self.device._ranks[bank_id // self._banks_per_rank]
+            rank_ready = state.last_act_cycle + self.timing.tRRD
+            if rank_ready > ready:
+                ready = rank_ready
+            window = state.act_window
+            if len(window) == window.maxlen:
+                faw_ready = window[0] + self.timing.tFAW
+                if faw_ready > ready:
+                    ready = faw_ready
+            return ready
+        ready = bank._next_rd if is_read else bank._next_wr
+        pre = bank._next_pre
+        return ready if ready < pre else pre
+
     def _demand_ready_cycle(self, cycle: int) -> int:
         """Earliest strictly-future readiness event of any queued demand.
 
@@ -717,6 +847,11 @@ class MemoryController:
         rank_states = device._ranks
         tRRD = self.timing.tRRD
         tFAW = self.timing.tFAW
+        # Whether any queued bank is ready at or before ``cycle`` (excluded
+        # from the strictly-future minimum): such a bank is being blocked by
+        # something other than timing, so the batch fast path must not use
+        # the hint to skip demand scans until the next recompute.
+        ready_now = False
         for buckets, is_read in (
             (self._read_buckets, True),
             (self._write_buckets, False),
@@ -734,13 +869,20 @@ class MemoryController:
                         faw_ready = window[0] + tFAW
                         if faw_ready > ready:
                             ready = faw_ready
-                    if cycle < ready < best:
+                    if ready <= cycle:
+                        ready_now = True
+                    elif ready < best:
                         best = ready
                     continue
                 ready = bank._next_rd if is_read else bank._next_wr
-                if cycle < ready < best:
+                if ready <= cycle:
+                    ready_now = True
+                elif ready < best:
                     best = ready
                 ready = bank._next_pre
-                if cycle < ready < best:
+                if ready <= cycle:
+                    ready_now = True
+                elif ready < best:
                     best = ready
+        self._demand_ready_now = ready_now
         return best

@@ -64,6 +64,8 @@ class Core:
         instruction_target: Optional[int] = None,
         bypass_llc: bool = False,
         request_pool: Optional[RequestPool] = None,
+        trace_data: Optional[tuple] = None,
+        pooled_hits: bool = False,
     ) -> None:
         """Create a core.
 
@@ -86,6 +88,14 @@ class Core:
             request_pool: shared :class:`~repro.controller.request.RequestPool`
                 the core allocates its memory requests from (a private pool is
                 created when omitted, so standalone cores keep working).
+            trace_data: optional pre-decomposed trace arrays
+                ``(gaps, lines, is_writes, gap_cycles)`` shared across the
+                configs of a batch group (see
+                :mod:`repro.experiments.batch`); the lists are read-only
+                during a run, so sharing them is observably identical to
+                decomposing the trace here.
+            pooled_hits: use the LLC's allocation-free shared hit result for
+                the dispatch probe (the batch fast path).
         """
         if clock_ratio <= 0 or issue_width <= 0 or window_size <= 0:
             raise ValueError("core parameters must be positive")
@@ -105,17 +115,27 @@ class Core:
         #: Instructions retired per DRAM cycle when nothing stalls.
         self.instructions_per_dram_cycle = issue_width * clock_ratio
         # The trace, decomposed once into parallel plain lists (gap, aligned
-        # line address, is-write): the dispatch loop then reads list slots
-        # instead of chasing entry-object attributes and re-aligning the
-        # address on every attempt.
-        line_size = llc.line_size
-        entries = list(trace.entries)
-        self._gaps = [entry.gap_instructions for entry in entries]
-        self._lines = [
-            (entry.address // line_size) * line_size for entry in entries
-        ]
-        self._is_writes = [entry.is_write for entry in entries]
-        self._trace_len = len(entries)
+        # line address, is-write, front-end cycles per gap): the dispatch
+        # loop then reads list slots instead of chasing entry-object
+        # attributes, re-aligning the address and re-dividing the gap on
+        # every attempt.  A batch group precomputes the decomposition once
+        # and shares it across every config (``trace_data``).
+        if trace_data is not None:
+            self._gaps, self._lines, self._is_writes, self._gap_cycles = trace_data
+        else:
+            line_size = llc.line_size
+            entries = list(trace.entries)
+            self._gaps = [entry.gap_instructions for entry in entries]
+            self._lines = [
+                (entry.address // line_size) * line_size for entry in entries
+            ]
+            self._is_writes = [entry.is_write for entry in entries]
+            ipc = self.instructions_per_dram_cycle
+            self._gap_cycles = [gap / ipc for gap in self._gaps]
+        self._trace_len = len(self._gaps)
+        # Dispatch probe: the batch path returns a shared hit result
+        # instead of allocating one per LLC hit.
+        self._probe_hit = llc.access_if_hit_pooled if pooled_hits else llc.access_if_hit
 
         # Trace cursor (wraps around).
         self._index = 0
@@ -138,7 +158,7 @@ class Core:
         self._cur_gap = self._gaps[0]
         self._cur_line = self._lines[0]
         self._cur_write = self._is_writes[0]
-        self._ready_cycle = self._cur_gap / self.instructions_per_dram_cycle
+        self._ready_cycle = self._gap_cycles[0]
 
         # Issue-gating state maintained for the system simulator's main
         # loop: after a failed dispatch, ``try_issue`` records the earliest
@@ -240,7 +260,7 @@ class Core:
         # set lookup); only a committed miss runs the mutating ``access``.
         hit_result = (
             None if self.bypass_llc
-            else self.llc.access_if_hit(line_address, is_write)
+            else self._probe_hit(line_address, is_write)
         )
 
         access_pool = self._access_pool
@@ -307,11 +327,10 @@ class Core:
         if index >= self._trace_len:
             index = 0
         self._index = index
-        gap = self._gaps[index]
-        self._cur_gap = gap
+        self._cur_gap = self._gaps[index]
         self._cur_line = self._lines[index]
         self._cur_write = self._is_writes[index]
-        self._ready_cycle = front + gap / self.instructions_per_dram_cycle
+        self._ready_cycle = front + self._gap_cycles[index]
         return True
 
     def _block(self, cycle: int) -> bool:

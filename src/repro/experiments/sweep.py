@@ -14,9 +14,10 @@ needs.  This module turns such a sweep into data:
   :meth:`~SweepSpec.expand`\\ s into the set of independent jobs, including
   the per-application *alone* runs and per-mix no-mitigation *baseline*
   runs shared by every sweep point.
-* :class:`SweepEngine` -- executes jobs serially or across worker
-  processes (``concurrent.futures.ProcessPoolExecutor``) and memoises every
-  result in a :class:`~repro.experiments.cache.ResultCache`.
+* :class:`SweepEngine` -- executes jobs serially, across worker processes
+  (``concurrent.futures.ProcessPoolExecutor``), or through the in-process
+  batch-vectorized engine (:mod:`repro.experiments.batch`), and memoises
+  every result in a :class:`~repro.experiments.cache.ResultCache`.
 
 Beyond the Cartesian sweep, :func:`attack_job` builds the §11 performance
 attack runs and :func:`attack_search_job` builds the red-team probes of
@@ -70,13 +71,23 @@ def default_workers(auto: bool = False) -> int:
     serial (0) for programmatic :class:`SweepEngine` construction -- unit
     tests and library users must opt in to multiprocessing -- while the CLI
     passes ``auto=True`` to default to :func:`auto_workers`.
+
+    An unparsable ``$REPRO_SWEEP_WORKERS`` raises :class:`ValueError`
+    naming the offending text (it used to silently degrade to serial,
+    hiding typos like ``REPRO_SWEEP_WORKERS=eight``); negative values are
+    clamped to 0 (serial), matching the engine's "below 2 means serial"
+    contract.
     """
     env = os.environ.get(WORKERS_ENV)
     if env is not None:
         try:
-            return int(env)
+            workers = int(env)
         except ValueError:
-            return 0
+            raise ValueError(
+                f"{WORKERS_ENV} must be an integer worker count, "
+                f"got {env!r}"
+            ) from None
+        return max(0, workers)
     return auto_workers() if auto else 0
 
 
@@ -438,19 +449,22 @@ class RunReport:
     cached_jobs: int = 0
     executed_jobs: int = 0
     workers: int = 0
+    batch: bool = False
     wall_seconds: float = 0.0
     shards: List[ShardReport] = field(default_factory=list)
 
     def summary_lines(self) -> List[str]:
         """Human-readable per-shard timing block (CLI output)."""
+        engine = "engine=batch" if self.batch else f"workers={self.workers}"
+        label = "batch group" if self.batch else "shard"
         lines = [
             f"run: {self.total_jobs} jobs ({self.cached_jobs} cached, "
-            f"{self.executed_jobs} executed, workers={self.workers}) "
+            f"{self.executed_jobs} executed, {engine}) "
             f"in {self.wall_seconds:.2f}s"
         ]
         for report in self.shards:
             lines.append(
-                f"  shard {report.shard:>3}: {report.jobs:>3} job(s)  "
+                f"  {label} {report.shard:>3}: {report.jobs:>3} job(s)  "
                 f"{report.seconds:7.2f}s  (est. cost {report.estimated_cost:,.0f})"
             )
         return lines
@@ -571,6 +585,7 @@ class SweepEngine:
         self,
         cache: Optional[ResultCache] = None,
         workers: Optional[int] = None,
+        batch: bool = False,
     ) -> None:
         """Create an engine.
 
@@ -579,9 +594,15 @@ class SweepEngine:
             workers: worker-process count; ``None`` reads the
                 ``REPRO_SWEEP_WORKERS`` environment variable (serial when
                 unset), and values below 2 execute serially in-process.
+            batch: execute missing jobs through the in-process
+                batch-vectorized engine (:mod:`repro.experiments.batch`)
+                instead of the serial/pooled scalar engine.  Results are
+                byte-identical either way; batch mode wins on single-CPU
+                machines, where process workers only add overhead.
         """
         self.cache = cache if cache is not None else ResultCache()
         self.workers = default_workers() if workers is None else workers
+        self.batch = batch
         self.executed_jobs = 0
         #: Report of the most recent :meth:`run_jobs` call.
         self.last_run_report = RunReport()
@@ -625,14 +646,19 @@ class SweepEngine:
             self.cache.put(job.key, result, job.cache_payload())
         return result
 
-    def run_jobs(self, jobs: Sequence[SimJob]) -> Dict[str, SimulationResult]:
+    def run_jobs(
+        self,
+        jobs: Sequence[SimJob],
+        batch: Optional[bool] = None,
+    ) -> Dict[str, SimulationResult]:
         """Run a batch of jobs, returning ``{job.key: result}``.
 
-        Cached jobs are served immediately; the remainder executes either
-        serially or across the persistent worker pool (cost-balanced
-        shards, longest first).  The result mapping is independent of
-        execution order and worker count, so parallel and serial runs are
-        interchangeable.
+        Cached jobs are served immediately; the remainder executes in one
+        of three interchangeable modes -- serially, across the persistent
+        worker pool (cost-balanced shards, longest first), or through the
+        in-process batch-vectorized engine (``batch``; defaults to the
+        engine's ``batch`` setting).  The result mapping is byte-identical
+        and independent of execution order, worker count and mode.
         """
         start = time.perf_counter()
         unique: Dict[str, SimJob] = {}
@@ -652,7 +678,10 @@ class SweepEngine:
             workers=self.workers,
         )
         if missing:
-            if self.workers >= 2 and len(missing) > 1:
+            use_batch = self.batch if batch is None else batch
+            if use_batch:
+                self._run_batch(missing, results, report)
+            elif self.workers >= 2 and len(missing) > 1:
                 self._run_sharded(missing, results, report)
             else:
                 self._run_serial(missing, results, report)
@@ -681,6 +710,39 @@ class SweepEngine:
                 seconds=time.perf_counter() - shard_start,
             )
         )
+
+    def _run_batch(
+        self,
+        missing: List[SimJob],
+        results: Dict[str, SimulationResult],
+        report: RunReport,
+    ) -> None:
+        """Execute missing jobs through the batch-vectorized engine.
+
+        Jobs are grouped by shared trace/topology (one report shard per
+        batch group), each group runs on one set of precomputed trace
+        arrays and pooled buffers with the gated fast kernels enabled.
+        """
+        # Imported here: repro.experiments.batch imports this module.
+        from repro.experiments.batch import plan_batches
+
+        report.batch = True
+        for index, group in enumerate(plan_batches(missing)):
+            group_start = time.perf_counter()
+            for job, result in group.execute():
+                self.executed_jobs += 1
+                self.cache.put(job.key, result, job.cache_payload())
+                results[job.key] = result
+            report.shards.append(
+                ShardReport(
+                    shard=index,
+                    jobs=len(group.jobs),
+                    estimated_cost=sum(
+                        estimate_job_cost(job) for job in group.jobs
+                    ),
+                    seconds=time.perf_counter() - group_start,
+                )
+            )
 
     def _run_sharded(
         self,

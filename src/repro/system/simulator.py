@@ -64,6 +64,10 @@ class SystemSimulator:
         energy_model: Optional[EnergyModel] = None,
         oracle: Optional["DisturbanceOracle"] = None,
         strict_tick: bool = False,
+        llc: Optional[Cache] = None,
+        decode_cache: Optional[Dict[int, tuple]] = None,
+        core_trace_data: Optional[Sequence[tuple]] = None,
+        fast_kernels: bool = False,
     ) -> None:
         if len(traces) != config.num_cores:
             raise ValueError(
@@ -79,6 +83,23 @@ class SystemSimulator:
         #: event horizon.  Slow but trivially correct; the determinism
         #: harness asserts the event-driven path is byte-identical to it.
         self.strict_tick = strict_tick
+        # Batch-mode hooks (see repro.experiments.batch): a pooled LLC, a
+        # shared address-decode table, pre-decomposed per-core trace arrays
+        # and the controllers' gated fast kernels.  All observably identical
+        # to the defaults -- the batch equivalence tests pin byte-equal
+        # results -- so scalar runs simply leave them unset.
+        if llc is not None and (
+            llc.size_bytes != config.llc_size_bytes
+            or llc.associativity != config.llc_associativity
+            or llc.line_size != config.llc_line_size
+        ):
+            raise ValueError("pooled LLC geometry does not match the config")
+        if core_trace_data is not None and len(core_trace_data) != len(traces):
+            raise ValueError(
+                f"expected {len(traces)} per-core trace arrays, "
+                f"got {len(core_trace_data)}"
+            )
+        self.fast_kernels = fast_kernels
 
         organization = config.organization
         self.num_channels = organization.channels
@@ -115,11 +136,12 @@ class SystemSimulator:
                 read_queue_size=config.read_queue_size,
                 write_queue_size=config.write_queue_size,
                 scheduler_cap=config.scheduler_cap,
+                fast_kernels=fast_kernels,
             )
             for device, setup in zip(self.devices, self.setups)
         ]
-        self.router = ChannelRouter(mapping, self.controllers)
-        self.llc = Cache(
+        self.router = ChannelRouter(mapping, self.controllers, decode_cache=decode_cache)
+        self.llc = llc if llc is not None else Cache(
             size_bytes=config.llc_size_bytes,
             associativity=config.llc_associativity,
             line_size=config.llc_line_size,
@@ -140,6 +162,10 @@ class SystemSimulator:
                 llc_hit_latency=config.llc_hit_latency,
                 bypass_llc=index in config.attacker_cores,
                 request_pool=self._request_pool,
+                trace_data=(
+                    core_trace_data[index] if core_trace_data is not None else None
+                ),
+                pooled_hits=fast_kernels,
             )
             for index, trace in enumerate(self.traces)
         ]

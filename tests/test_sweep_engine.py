@@ -14,6 +14,7 @@ from repro.experiments.cache import (
 )
 from repro.experiments.runner import ExperimentRunner
 from repro.experiments.sweep import (
+    WORKERS_ENV,
     SimJob,
     SweepEngine,
     SweepSpec,
@@ -21,6 +22,7 @@ from repro.experiments.sweep import (
     attack_job,
     baseline_job,
     build_job_traces,
+    default_workers,
     mechanism_job,
 )
 from repro.system.config import appendix_e_system_config, paper_system_config
@@ -41,6 +43,34 @@ def results_digest(results) -> str:
         {key: result_to_dict(result) for key, result in sorted(results.items())},
         sort_keys=True,
     )
+
+
+class TestDefaultWorkers:
+    """$REPRO_SWEEP_WORKERS parsing: loud on garbage, clamped on negatives."""
+
+    def test_unset_defaults_to_serial(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert default_workers() == 0
+        assert default_workers(auto=True) >= 1
+
+    def test_valid_value_wins(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "3")
+        assert default_workers() == 3
+        assert default_workers(auto=True) == 3
+
+    def test_unparsable_value_raises_naming_the_text(self, monkeypatch):
+        # Used to silently degrade to serial, hiding the typo entirely.
+        monkeypatch.setenv(WORKERS_ENV, "eight")
+        with pytest.raises(ValueError, match=r"REPRO_SWEEP_WORKERS.*'eight'"):
+            default_workers()
+        with pytest.raises(ValueError, match=r"REPRO_SWEEP_WORKERS.*'eight'"):
+            default_workers(auto=True)
+
+    def test_negative_value_clamped_to_serial(self, monkeypatch):
+        # Negative counts used to flow through to the engine verbatim.
+        monkeypatch.setenv(WORKERS_ENV, "-4")
+        assert default_workers() == 0
+        assert SweepEngine().workers == 0
 
 
 class TestExpansion:
