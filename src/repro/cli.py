@@ -26,6 +26,17 @@ Subcommands:
     a mechanism and compares it with the analytical bound, and ``attack
     compare`` tabulates that boundary across mechanisms.
 
+``serve``
+    Run the long-lived simulation service (:mod:`repro.service`): clients
+    submit sweep / attack-search jobs over HTTP and stream live progress
+    over WebSocket, all multiplexed onto one shared engine and cache.
+
+``client``
+    The matching thin client: ``client submit`` posts a job (``--watch``
+    streams its events), ``client watch|status|cancel`` manage one job, and
+    ``client health|stats|shutdown`` poke the server.  Used by the CI smoke
+    test and the service load benchmark.
+
 The on-disk cache location defaults to ``$REPRO_CACHE_DIR`` or
 ``.repro-cache``; pass ``--no-cache`` for a purely in-memory run.
 """
@@ -33,6 +44,7 @@ The on-disk cache location defaults to ``$REPRO_CACHE_DIR`` or
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Dict, List, Optional, Sequence
 
@@ -119,6 +131,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--dry-run", action="store_true",
         help="list the expanded jobs and their cache status, then exit",
+    )
+    sweep.add_argument(
+        "--report-json", default=None, metavar="PATH",
+        help="also write the run report (RunReport.as_dict) as JSON -- the "
+             "same serialization the service streams and the benches record",
     )
 
     cache = subparsers.add_parser("cache", help="inspect or clear the result cache")
@@ -226,6 +243,111 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"patterns to try (default: {', '.join(DEFAULT_COMPARE_PATTERNS)})",
     )
     add_search_options(compare)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the simulation service (HTTP + WebSocket job server)"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8123,
+        help="bind port (0 picks a free port and prints it)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes of the shared engine (default: "
+             "$REPRO_SWEEP_WORKERS, else serial)",
+    )
+    serve.add_argument(
+        "--batch", action="store_true",
+        help="execute jobs through the in-process batch-vectorized engine",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=32, metavar="N",
+        help="bounded job-queue depth; overflow answers 429 (default: 32)",
+    )
+    serve.add_argument(
+        "--client-cap", type=int, default=4, metavar="N",
+        help="max jobs one client may have queued or running (default: 4)",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=10.0, metavar="R",
+        help="per-client submissions per second refill rate (default: 10)",
+    )
+    serve.add_argument(
+        "--burst", type=int, default=20, metavar="N",
+        help="per-client submission token-bucket burst (default: 20)",
+    )
+    serve.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="on-disk result cache (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    serve.add_argument(
+        "--no-cache", action="store_true",
+        help="keep results in memory only (no on-disk cache)",
+    )
+
+    client = subparsers.add_parser(
+        "client", help="talk to a running simulation service"
+    )
+    client.add_argument(
+        "--server", default="127.0.0.1:8123", metavar="HOST:PORT",
+        help="service address (default: 127.0.0.1:8123)",
+    )
+    client.add_argument(
+        "--client-id", default="cli", metavar="NAME",
+        help="client identity for fairness/rate accounting (default: cli)",
+    )
+    client_sub = client.add_subparsers(dest="client_command", required=True)
+
+    submit = client_sub.add_parser("submit", help="submit a job")
+    submit.add_argument(
+        "--kind", choices=["sweep", "attack_search"], default="sweep",
+        help="job kind (default: sweep)",
+    )
+    submit.add_argument(
+        "--spec", default=None, metavar="JSON_OR_PATH",
+        help="spec as inline JSON or a path to a JSON file; without it a "
+             "sweep spec is built from --mechanisms/--nrh/--num-mixes/--accesses",
+    )
+    submit.add_argument(
+        "--mechanisms", nargs="+", default=["Chronus"], metavar="NAME",
+        help="mechanisms of the built-in sweep spec",
+    )
+    submit.add_argument(
+        "--nrh", nargs="+", type=int, default=[1024], metavar="N",
+        help="N_RH values of the built-in sweep spec",
+    )
+    submit.add_argument("--num-mixes", type=int, default=1, metavar="N")
+    submit.add_argument("--accesses", type=int, default=300, metavar="N")
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument(
+        "--priority", type=int, default=0, help="0 (urgent) .. 9 (batch)"
+    )
+    submit.add_argument(
+        "--watch", action="store_true",
+        help="stream the job's progress events until it finishes",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=300.0,
+        help="--watch timeout in seconds (default: 300)",
+    )
+
+    watch = client_sub.add_parser("watch", help="stream one job's events")
+    watch.add_argument("job_id")
+    watch.add_argument("--timeout", type=float, default=300.0)
+
+    status = client_sub.add_parser("status", help="print one job's snapshot")
+    status.add_argument("job_id")
+    status.add_argument(
+        "--full", action="store_true", help="include the full event log"
+    )
+
+    cancel = client_sub.add_parser("cancel", help="cancel one job")
+    cancel.add_argument("job_id")
+
+    client_sub.add_parser("health", help="print the service health document")
+    client_sub.add_parser("stats", help="print the service statistics")
+    client_sub.add_parser("shutdown", help="ask the service to stop cleanly")
     return parser
 
 
@@ -312,6 +434,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     for line in engine.last_run_report.summary_lines():
         print(line)
     print(f"{engine.executed_jobs} jobs simulated; {cache.summary()}")
+    if args.report_json:
+        with open(args.report_json, "w", encoding="utf-8") as handle:
+            json.dump(engine.last_run_report.as_dict(), handle, indent=2, sort_keys=True)
+        print(f"run report written to {args.report_json}")
     return 0
 
 
@@ -553,6 +679,163 @@ def _cmd_attack_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+# --------------------------------------------------------------------------- #
+# serve / client subcommands
+# --------------------------------------------------------------------------- #
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.server import SimulationService, run_service
+
+    try:
+        workers = default_workers() if args.workers is None else max(0, args.workers)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    cache_dir = None if args.no_cache else (
+        args.cache_dir if args.cache_dir is not None else default_cache_dir()
+    )
+    service = SimulationService.build(
+        cache_dir=cache_dir,
+        workers=workers,
+        batch=args.batch,
+        max_queue_depth=args.queue_depth,
+        per_client_active=args.client_cap,
+        rate=args.rate,
+        burst=args.burst,
+    )
+    try:
+        asyncio.run(run_service(service, host=args.host, port=args.port))
+    except KeyboardInterrupt:
+        # The engine's atexit hook reaps the pool even on a hard interrupt;
+        # this path just keeps the exit quiet.
+        print("interrupted", file=sys.stderr)
+    return 0
+
+
+def _parse_server(address: str) -> tuple:
+    host, separator, port_text = address.rpartition(":")
+    if not separator:
+        raise ValueError(f"expected HOST:PORT, got {address!r}")
+    return host, int(port_text)
+
+
+def _client_spec(args: argparse.Namespace) -> Dict[str, object]:
+    """The spec payload of ``client submit`` (inline JSON, file, or flags)."""
+    import os
+
+    if args.spec is not None:
+        text = args.spec
+        if os.path.exists(text):
+            with open(text, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        spec = json.loads(text)
+        if not isinstance(spec, dict):
+            raise ValueError("spec must be a JSON object")
+        return spec
+    if args.kind != "sweep":
+        raise ValueError("--spec is required for non-sweep submissions")
+    return {
+        "mechanisms": args.mechanisms,
+        "nrh": args.nrh,
+        "num_mixes": args.num_mixes,
+        "accesses": args.accesses,
+        "seed": args.seed,
+    }
+
+
+def _print_event(event: Dict[str, object]) -> None:
+    kind = event.get("event", "?")
+    parts = [f"[{event.get('seq', '?')}] {kind}"]
+    if kind == "state":
+        parts.append(str(event.get("state")))
+    elif kind == "plan":
+        parts.append(
+            f"{event.get('total_jobs')} jobs, {event.get('cached_jobs')} cached, "
+            f"mode={event.get('mode')}"
+        )
+    elif kind == "job":
+        parts.append(
+            f"{event.get('label')} ({event.get('done_jobs')}/{event.get('missing_jobs')})"
+        )
+    elif kind == "shard":
+        parts.append(
+            f"shard {event.get('shard')}: {event.get('jobs')} job(s) in "
+            f"{event.get('seconds', 0.0):.2f}s "
+            f"({event.get('done_jobs')}/{event.get('missing_jobs')})"
+        )
+    elif kind == "report":
+        report = event.get("report", {})
+        if isinstance(report, dict):
+            parts.append(
+                f"engine={report.get('engine')} "
+                f"hit_rate={report.get('cache_hit_rate', 0.0):.2f} "
+                f"wall={report.get('wall_seconds', 0.0):.2f}s"
+            )
+    print("  ".join(parts), flush=True)
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    try:
+        host, port = _parse_server(args.server)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    client = ServiceClient(host=host, port=port, client_id=args.client_id)
+    try:
+        if args.client_command == "submit":
+            try:
+                spec = _client_spec(args)
+            except (ValueError, OSError) as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+            response = client.submit(spec, kind=args.kind, priority=args.priority)
+            print(json.dumps(response, indent=2, sort_keys=True))
+            if not args.watch:
+                return 0
+            job_id = str(response["job"])
+            final_state = ""
+            for event in client.watch(job_id, timeout=args.timeout):
+                _print_event(event)
+                if event.get("event") == "state":
+                    final_state = str(event.get("state"))
+            return 0 if final_state == "done" else 1
+        if args.client_command == "watch":
+            final_state = ""
+            for event in client.watch(args.job_id, timeout=args.timeout):
+                _print_event(event)
+                if event.get("event") == "state":
+                    final_state = str(event.get("state"))
+            return 0 if final_state == "done" else 1
+        if args.client_command == "status":
+            print(json.dumps(client.status(args.job_id, full=args.full),
+                             indent=2, sort_keys=True))
+            return 0
+        if args.client_command == "cancel":
+            print(json.dumps(client.cancel(args.job_id), indent=2, sort_keys=True))
+            return 0
+        if args.client_command == "health":
+            print(json.dumps(client.health(), indent=2, sort_keys=True))
+            return 0
+        if args.client_command == "stats":
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+            return 0
+        if args.client_command == "shutdown":
+            print(json.dumps(client.shutdown(), indent=2, sort_keys=True))
+            return 0
+    except ServiceError as error:
+        detail = f" (retry after {error.retry_after}s)" if error.retry_after else ""
+        print(f"error: {error}{detail}", file=sys.stderr)
+        return 1
+    except (ConnectionError, OSError, TimeoutError) as error:
+        print(f"error: cannot reach {args.server}: {error}", file=sys.stderr)
+        return 1
+    raise AssertionError(f"unhandled client command {args.client_command!r}")
+
+
 def _cmd_attack(args: argparse.Namespace) -> int:
     if args.attack_command == "list":
         return _cmd_attack_list()
@@ -576,4 +859,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_mechanisms()
     if args.command == "attack":
         return _cmd_attack(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "client":
+        return _cmd_client(args)
     raise AssertionError(f"unhandled command {args.command!r}")

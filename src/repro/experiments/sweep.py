@@ -33,11 +33,15 @@ order.
 
 from __future__ import annotations
 
+import atexit
+import dataclasses
 import os
+import threading
 import time
+import weakref
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.attacks.oracle import DisturbanceOracle
 from repro.attacks.patterns import AttackSpec, performance_attack_trace
@@ -89,6 +93,53 @@ def default_workers(auto: bool = False) -> int:
             ) from None
         return max(0, workers)
     return auto_workers() if auto else 0
+
+
+# --------------------------------------------------------------------------- #
+# Cooperative cancellation and progress streaming
+# --------------------------------------------------------------------------- #
+
+#: Progress callback: receives one JSON-serialisable event dict per
+#: milestone of a :meth:`SweepEngine.run_jobs` call (``plan`` / ``job`` /
+#: ``shard`` / ``report``).  Callbacks run on the engine's calling thread
+#: and must not raise.
+ProgressFn = Callable[[Dict[str, object]], None]
+
+
+class CancelToken:
+    """Cooperative cancellation flag, safe to share across threads.
+
+    The long-running consumer (:meth:`SweepEngine.run_jobs`) polls the
+    token between jobs / shard completions; any thread may :meth:`cancel`
+    it.  Cancellation is cooperative -- a simulation that is already
+    executing runs to completion and its result still lands in the cache,
+    so cancelled work is never wasted on resubmission.
+    """
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        """Request cancellation (idempotent, thread-safe)."""
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+
+class SweepCancelled(RuntimeError):
+    """Raised by :meth:`SweepEngine.run_jobs` when its token fires.
+
+    ``report`` carries the :class:`RunReport` of the work completed before
+    the cancellation point (every finished result is already cached).
+    """
+
+    def __init__(self, report: "RunReport") -> None:
+        super().__init__(
+            f"sweep cancelled after {len(report.shards)} unit(s) of work"
+        )
+        self.report = report
 
 
 # --------------------------------------------------------------------------- #
@@ -453,6 +504,41 @@ class RunReport:
     wall_seconds: float = 0.0
     shards: List[ShardReport] = field(default_factory=list)
 
+    @property
+    def engine_mode(self) -> str:
+        """Which execution mode ran the missing jobs."""
+        if self.executed_jobs == 0:
+            return "cached"
+        if self.batch:
+            return "batch"
+        return "pool" if self.workers >= 2 else "serial"
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of this run's jobs served from the cache."""
+        if self.total_jobs == 0:
+            return 0.0
+        return self.cached_jobs / self.total_jobs
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serialisable report.
+
+        The one serialization the service streams over WebSocket, the CLI
+        writes with ``--report-json`` and the benchmarks record -- so every
+        consumer agrees on field names.
+        """
+        return {
+            "total_jobs": self.total_jobs,
+            "cached_jobs": self.cached_jobs,
+            "executed_jobs": self.executed_jobs,
+            "workers": self.workers,
+            "engine": self.engine_mode,
+            "batch": self.batch,
+            "wall_seconds": self.wall_seconds,
+            "cache_hit_rate": self.cache_hit_rate,
+            "shards": [dataclasses.asdict(shard) for shard in self.shards],
+        }
+
     def summary_lines(self) -> List[str]:
         """Human-readable per-shard timing block (CLI output)."""
         engine = "engine=batch" if self.batch else f"workers={self.workers}"
@@ -567,6 +653,31 @@ class SweepSpec:
 # Engine
 # --------------------------------------------------------------------------- #
 
+#: Engines whose persistent pool has been started.  Weak references, so an
+#: engine that is garbage-collected (its ``ProcessPoolExecutor`` reaps its
+#: workers on finalisation) never lingers here; the atexit hook closes the
+#: survivors so an interrupted run (Ctrl-C mid-sweep, server stop) cannot
+#: leak worker processes.
+_LIVE_ENGINES: "weakref.WeakSet[SweepEngine]" = weakref.WeakSet()
+
+
+def shutdown_live_engines() -> int:
+    """Close every engine with a live pool; returns how many were closed.
+
+    Registered with :mod:`atexit`; also callable directly (signal handlers,
+    tests).  Idempotent: :meth:`SweepEngine.close` tolerates repeats.
+    """
+    closed = 0
+    for engine in list(_LIVE_ENGINES):
+        if engine._pool is not None:
+            engine.close()
+            closed += 1
+    return closed
+
+
+atexit.register(shutdown_live_engines)
+
+
 class SweepEngine:
     """Executes :class:`SimJob`\\ s with memoisation and optional parallelism.
 
@@ -619,6 +730,7 @@ class SweepEngine:
             self.close()
             self._pool = ProcessPoolExecutor(max_workers=self.workers)
             self._pool_workers = self.workers
+            _LIVE_ENGINES.add(self)
         return self._pool
 
     def close(self) -> None:
@@ -650,6 +762,8 @@ class SweepEngine:
         self,
         jobs: Sequence[SimJob],
         batch: Optional[bool] = None,
+        progress: Optional[ProgressFn] = None,
+        cancel: Optional[CancelToken] = None,
     ) -> Dict[str, SimulationResult]:
         """Run a batch of jobs, returning ``{job.key: result}``.
 
@@ -659,6 +773,16 @@ class SweepEngine:
         in-process batch-vectorized engine (``batch``; defaults to the
         engine's ``batch`` setting).  The result mapping is byte-identical
         and independent of execution order, worker count and mode.
+
+        ``progress`` receives JSON-serialisable event dicts as the run
+        advances: one ``plan`` event up front (totals, cache hits, mode),
+        a ``job`` event per job executed in-process (serial/batch modes), a
+        ``shard`` event per completed unit of work, and a final ``report``
+        event mirroring :meth:`RunReport.as_dict`.  ``cancel`` is polled
+        between jobs / shard completions; when it fires the engine raises
+        :class:`SweepCancelled` (carrying the partial report) -- every
+        result finished up to that point is already in the cache, so a
+        resubmission resumes instead of recomputing.
         """
         start = time.perf_counter()
         unique: Dict[str, SimJob] = {}
@@ -677,45 +801,117 @@ class SweepEngine:
             cached_jobs=len(unique) - len(missing),
             workers=self.workers,
         )
+        use_batch = self.batch if batch is None else batch
+        if progress is not None:
+            mode = "cached"
+            if missing:
+                mode = "batch" if use_batch else (
+                    "pool" if self.workers >= 2 and len(missing) > 1 else "serial"
+                )
+            progress(
+                {
+                    "event": "plan",
+                    "total_jobs": len(unique),
+                    "cached_jobs": len(unique) - len(missing),
+                    "missing_jobs": len(missing),
+                    "mode": mode,
+                    "workers": self.workers,
+                }
+            )
         if missing:
-            use_batch = self.batch if batch is None else batch
+            report.batch = use_batch
+            self._check_cancel(cancel, report)
             if use_batch:
-                self._run_batch(missing, results, report)
+                self._run_batch(missing, results, report, progress, cancel)
             elif self.workers >= 2 and len(missing) > 1:
-                self._run_sharded(missing, results, report)
+                self._run_sharded(missing, results, report, progress, cancel)
             else:
-                self._run_serial(missing, results, report)
+                self._run_serial(missing, results, report, progress, cancel)
             report.executed_jobs = len(missing)
         report.wall_seconds = time.perf_counter() - start
         self.last_run_report = report
+        if progress is not None:
+            progress({"event": "report", "report": report.as_dict()})
         return results
+
+    @staticmethod
+    def _check_cancel(cancel: Optional[CancelToken], report: RunReport) -> None:
+        if cancel is not None and cancel.cancelled:
+            raise SweepCancelled(report)
+
+    @staticmethod
+    def _emit_job(
+        progress: Optional[ProgressFn],
+        job: SimJob,
+        seconds: float,
+        done: int,
+        missing: int,
+    ) -> None:
+        if progress is None:
+            return
+        progress(
+            {
+                "event": "job",
+                "key": job.key,
+                "label": job.label,
+                "mechanism": job.config.mechanism,
+                "nrh": job.config.nrh,
+                "seconds": seconds,
+                "done_jobs": done,
+                "missing_jobs": missing,
+            }
+        )
+
+    @staticmethod
+    def _emit_shard(
+        progress: Optional[ProgressFn],
+        shard: ShardReport,
+        done: int,
+        missing: int,
+    ) -> None:
+        if progress is None:
+            return
+        event = {"event": "shard", "done_jobs": done, "missing_jobs": missing}
+        event.update(dataclasses.asdict(shard))
+        progress(event)
 
     def _run_serial(
         self,
         missing: List[SimJob],
         results: Dict[str, SimulationResult],
         report: RunReport,
+        progress: Optional[ProgressFn] = None,
+        cancel: Optional[CancelToken] = None,
     ) -> None:
         shard_start = time.perf_counter()
+        done = 0
         for job in missing:
+            self._check_cancel(cancel, report)
+            job_start = time.perf_counter()
             result = execute_job(job)
             self.executed_jobs += 1
             self.cache.put(job.key, result, job.cache_payload())
             results[job.key] = result
-        report.shards.append(
-            ShardReport(
-                shard=0,
-                jobs=len(missing),
-                estimated_cost=sum(estimate_job_cost(job) for job in missing),
-                seconds=time.perf_counter() - shard_start,
+            done += 1
+            self._emit_job(
+                progress, job, time.perf_counter() - job_start, done, len(missing)
             )
+        shard = ShardReport(
+            shard=0,
+            jobs=len(missing),
+            estimated_cost=sum(estimate_job_cost(job) for job in missing),
+            seconds=time.perf_counter() - shard_start,
         )
+        report.shards.append(shard)
+        self._emit_shard(progress, shard, done, len(missing))
 
     def _run_batch(
         self,
         missing: List[SimJob],
         results: Dict[str, SimulationResult],
         report: RunReport,
+        progress: Optional[ProgressFn] = None,
+        cancel: Optional[CancelToken] = None,
     ) -> None:
         """Execute missing jobs through the batch-vectorized engine.
 
@@ -727,28 +923,35 @@ class SweepEngine:
         from repro.experiments.batch import plan_batches
 
         report.batch = True
+        done_jobs = 0
         for index, group in enumerate(plan_batches(missing)):
+            self._check_cancel(cancel, report)
             group_start = time.perf_counter()
             for job, result in group.execute():
                 self.executed_jobs += 1
                 self.cache.put(job.key, result, job.cache_payload())
                 results[job.key] = result
-            report.shards.append(
-                ShardReport(
-                    shard=index,
-                    jobs=len(group.jobs),
-                    estimated_cost=sum(
-                        estimate_job_cost(job) for job in group.jobs
-                    ),
-                    seconds=time.perf_counter() - group_start,
-                )
+                done_jobs += 1
+                self._emit_job(progress, job, 0.0, done_jobs, len(missing))
+                self._check_cancel(cancel, report)
+            shard = ShardReport(
+                shard=index,
+                jobs=len(group.jobs),
+                estimated_cost=sum(
+                    estimate_job_cost(job) for job in group.jobs
+                ),
+                seconds=time.perf_counter() - group_start,
             )
+            report.shards.append(shard)
+            self._emit_shard(progress, shard, done_jobs, len(missing))
 
     def _run_sharded(
         self,
         missing: List[SimJob],
         results: Dict[str, SimulationResult],
         report: RunReport,
+        progress: Optional[ProgressFn] = None,
+        cancel: Optional[CancelToken] = None,
     ) -> None:
         shards = build_shards(missing, self.workers)
         pool = self._ensure_pool()
@@ -758,7 +961,15 @@ class SweepEngine:
             for index, shard in enumerate(shards)
         }
         stream_to_disk = cache_dir is not None
+        done_jobs = 0
         while pending:
+            if cancel is not None and cancel.cancelled:
+                # Cooperative: shards that never started are dropped; shards
+                # already executing run on in the workers and stream their
+                # results to the on-disk cache, so nothing computed is lost.
+                for future in pending:
+                    future.cancel()
+                raise SweepCancelled(report)
             done, _ = wait(pending, return_when=FIRST_COMPLETED)
             for future in done:
                 index, shard = pending.pop(future)
@@ -771,17 +982,23 @@ class SweepEngine:
                     else:
                         self.cache.put(job.key, result, job.cache_payload())
                     results[job.key] = result
-                report.shards.append(
-                    ShardReport(
-                        shard=index,
-                        jobs=len(shard),
-                        estimated_cost=sum(
-                            estimate_job_cost(job) for job in shard
-                        ),
-                        seconds=elapsed,
-                    )
+                done_jobs += len(shard)
+                shard_report = ShardReport(
+                    shard=index,
+                    jobs=len(shard),
+                    estimated_cost=sum(
+                        estimate_job_cost(job) for job in shard
+                    ),
+                    seconds=elapsed,
                 )
+                report.shards.append(shard_report)
+                self._emit_shard(progress, shard_report, done_jobs, len(missing))
 
-    def run(self, spec: SweepSpec) -> Dict[str, SimulationResult]:
+    def run(
+        self,
+        spec: SweepSpec,
+        progress: Optional[ProgressFn] = None,
+        cancel: Optional[CancelToken] = None,
+    ) -> Dict[str, SimulationResult]:
         """Expand and run a whole sweep."""
-        return self.run_jobs(spec.expand())
+        return self.run_jobs(spec.expand(), progress=progress, cancel=cancel)

@@ -43,9 +43,24 @@ class TestEntryDocuments:
         )
         for needle in (
             "ChannelRouter", "MemoryController", "DramDevice", "channel",
-            "EXPERIMENTS.md", "ATTACKS.md",
+            "EXPERIMENTS.md", "ATTACKS.md", "SERVICE.md", "SweepEngine",
         ):
             assert needle in architecture, f"ARCHITECTURE.md is missing {needle!r}"
+
+    def test_service_doc_covers_the_contracts(self):
+        service = (REPO_ROOT / "docs" / "SERVICE.md").read_text(encoding="utf-8")
+        for needle in (
+            "python -m repro serve", "python -m repro client",
+            "POST /jobs", "/ws/jobs/", "Retry-After", "429",
+            "CancelToken", "round-robin", "cached_jobs",
+            "bench_service_load.py",
+        ):
+            assert needle in service, f"SERVICE.md is missing {needle!r}"
+
+    def test_readme_mentions_the_service(self):
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        assert "docs/SERVICE.md" in readme
+        assert "python -m repro serve" in readme
 
     def test_experiment_and_attack_docs_mention_channels_knob(self):
         experiments = (REPO_ROOT / "docs" / "EXPERIMENTS.md").read_text(

@@ -1,0 +1,660 @@
+"""Simulation service: protocol, admission, streaming and edge cases.
+
+The integration tests run a real :class:`SimulationService` on an ephemeral
+port (event loop on a background thread) and talk to it through the real
+blocking :class:`ServiceClient` -- sockets, HTTP parsing, WebSocket framing
+and the executor thread are all exercised exactly as in production.
+
+Controllable timing (submit-while-full, cancel mid-run, disconnect
+mid-stream) uses a :class:`BlockingEngine` -- a real ``SweepEngine`` whose
+``run_jobs`` parks on an event until the test releases it, honouring the
+cancellation token the way the real engine does between jobs.
+"""
+
+import asyncio
+import json
+import threading
+import time
+
+import pytest
+
+from repro.experiments.sweep import (
+    RunReport,
+    SweepCancelled,
+    SweepEngine,
+)
+from repro.service import protocol
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.queue import (
+    ClientCapExceeded,
+    FairQueue,
+    JobRecord,
+    QueueFull,
+    RateLimited,
+    TokenBucket,
+)
+from repro.service.server import SimulationService
+from repro.service.specs import SpecError, parse_submission
+
+TINY_SWEEP = {
+    "mechanisms": ["Chronus"],
+    "nrh": [64],
+    "num_mixes": 1,
+    "accesses": 200,
+}
+
+
+# --------------------------------------------------------------------------- #
+# Protocol layer (sans-I/O, no sockets)
+# --------------------------------------------------------------------------- #
+
+class TestWebSocketCodec:
+    def test_accept_key_matches_rfc6455_example(self):
+        # The worked example from RFC 6455 §1.3.
+        key = "dGhlIHNhbXBsZSBub25jZQ=="
+        assert protocol.websocket_accept_key(key) == "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+
+    @pytest.mark.parametrize("mask", [False, True])
+    @pytest.mark.parametrize("size", [0, 1, 125, 126, 65535, 65536])
+    def test_frame_roundtrip_across_length_encodings(self, mask, size):
+        payload = bytes(range(256)) * (size // 256 + 1)
+        payload = payload[:size]
+        frame = protocol.encode_frame(payload, protocol.OP_BINARY, mask=mask)
+        decoded = protocol.decode_frame(frame)
+        assert decoded is not None
+        opcode, out, consumed = decoded
+        assert (opcode, out, consumed) == (protocol.OP_BINARY, payload, len(frame))
+
+    def test_partial_frame_returns_none(self):
+        frame = protocol.encode_frame(b"hello world", protocol.OP_TEXT)
+        for cut in range(len(frame)):
+            assert protocol.decode_frame(frame[:cut]) is None
+
+    def test_two_frames_in_one_buffer_decode_sequentially(self):
+        first = protocol.encode_frame(b"one", protocol.OP_TEXT)
+        second = protocol.encode_frame(b"two", protocol.OP_TEXT)
+        opcode, payload, consumed = protocol.decode_frame(first + second)
+        assert payload == b"one"
+        opcode, payload, _ = protocol.decode_frame((first + second)[consumed:])
+        assert payload == b"two"
+
+    def test_fragmented_frames_are_rejected(self):
+        unfinished = bytes([0x01, 0x03]) + b"abc"  # FIN=0, text
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_frame(unfinished)
+
+    def test_masked_frame_differs_on_the_wire_but_roundtrips(self):
+        masked = protocol.encode_frame(b"secret", mask=True)
+        assert b"secret" not in masked
+        _, payload, _ = protocol.decode_frame(masked)
+        assert payload == b"secret"
+
+
+# --------------------------------------------------------------------------- #
+# Submission validation
+# --------------------------------------------------------------------------- #
+
+class TestParseSubmission:
+    def submission(self, **overrides):
+        body = {"kind": "sweep", "client": "alice", "spec": dict(TINY_SWEEP)}
+        body.update(overrides)
+        return body
+
+    def test_valid_sweep_expands_jobs_and_echoes_canonical_spec(self):
+        submission = parse_submission(self.submission())
+        assert submission.kind == "sweep"
+        assert submission.client == "alice"
+        assert len(submission.jobs) > 0
+        spec = submission.payload["spec"]
+        assert spec["mechanisms"] == ["Chronus"]
+        assert spec["accesses"] == 200
+        # Defaults are resolved into the echo.
+        assert spec["include_alone"] is True
+
+    def test_valid_attack_search(self):
+        submission = parse_submission({
+            "kind": "attack_search", "client": "red",
+            "spec": {"mechanism": "Chronus", "nrh": [8, 4], "pattern": "single_sided"},
+        })
+        assert submission.kind == "attack_search"
+        assert len(submission.jobs) == 2
+        assert [job.config.nrh for job in submission.jobs] == [4, 8]
+        assert all(job.attack is not None for job in submission.jobs)
+
+    @pytest.mark.parametrize("body", [
+        "just a string",
+        ["a", "list"],
+        {"kind": "sweep", "spec": TINY_SWEEP, "surprise": 1},
+        {"kind": "teapot", "spec": TINY_SWEEP},
+        {"kind": "sweep"},
+        {"kind": "sweep", "spec": "not a dict"},
+        {"kind": "sweep", "priority": "high", "spec": TINY_SWEEP},
+        {"kind": "sweep", "priority": 99, "spec": TINY_SWEEP},
+        {"kind": "sweep", "client": "../../etc", "spec": TINY_SWEEP},
+    ])
+    def test_malformed_top_level_is_rejected(self, body):
+        with pytest.raises(SpecError):
+            parse_submission(body)
+
+    @pytest.mark.parametrize("mutation", [
+        {"mechanisms": ["NotAMechanism"]},
+        {"mechanisms": []},
+        {"mechanisms": "Chronus"},
+        {"nrh": [0]},
+        {"nrh": [True]},
+        {"accesses": -5},
+        {"accesses": True},
+        {"accesses": 10**9},
+        {"num_mixes": 0},
+        {"mix_types": ["imaginary"]},
+        {"channels": 9},
+        {"include_alone": 1},
+        {"__class__": "exploit"},
+        {"base_config": {"nrh": 1}},   # no field injection past the whitelist
+        {"workload_name": "x"},
+    ])
+    def test_malformed_sweep_spec_is_rejected(self, mutation):
+        spec = dict(TINY_SWEEP)
+        spec.update(mutation)
+        with pytest.raises(SpecError):
+            parse_submission({"kind": "sweep", "spec": spec})
+
+    @pytest.mark.parametrize("mutation", [
+        {"mechanism": "Nope"},
+        {"pattern": "not_a_pattern"},
+        {"params": {"num_aggressors": "many"}},
+        {"params": {"not_a_param": 3}},
+        {"channel": 1},                 # out of range for channels=1
+        {"attack": {"pattern": "wave"}},
+    ])
+    def test_malformed_attack_spec_is_rejected(self, mutation):
+        spec = {"mechanism": "Chronus", "nrh": [8], "pattern": "single_sided"}
+        spec.update(mutation)
+        with pytest.raises(SpecError):
+            parse_submission({"kind": "attack_search", "spec": spec})
+
+    def test_explicit_mixes_are_accepted(self):
+        spec = dict(TINY_SWEEP)
+        del spec["num_mixes"]
+        spec["mixes"] = [["blender", "gcc"]]
+        submission = parse_submission({"kind": "sweep", "spec": spec})
+        assert any(job.config.num_cores == 2 for job in submission.jobs)
+
+    def test_oversized_expansion_is_rejected(self):
+        spec = {
+            "mechanisms": list(dict.fromkeys(["Chronus", "PRAC-4", "Graphene",
+                                              "Hydra", "PARA", "PRFM", "ABACuS"])),
+            "nrh": list(range(100, 164)),
+            "num_mixes": 8,
+            "accesses": 100,
+        }
+        with pytest.raises(SpecError, match="split it"):
+            parse_submission({"kind": "sweep", "spec": spec})
+
+
+# --------------------------------------------------------------------------- #
+# Admission queue
+# --------------------------------------------------------------------------- #
+
+def make_record(client="c", priority=0, job_id=None):
+    submission = parse_submission(
+        {"kind": "sweep", "client": client, "priority": priority,
+         "spec": dict(TINY_SWEEP)}
+    )
+    return JobRecord(
+        id=job_id or f"{client}-{time.monotonic_ns()}",
+        client=client, kind=submission.kind, payload=submission.payload,
+        jobs=submission.jobs, priority=priority,
+    )
+
+
+class TestFairQueue:
+    def test_round_robin_across_clients(self):
+        queue = FairQueue(max_depth=10, per_client_active=10)
+        a1, a2 = make_record("alice"), make_record("alice")
+        b1 = make_record("bob")
+        for record in (a1, a2, b1):
+            queue.submit(record)
+        # Alice submitted first, but after serving her once the rotation
+        # moves on to Bob before her second job.
+        assert queue.next_job() is a1
+        assert queue.next_job() is b1
+        assert queue.next_job() is a2
+        assert queue.next_job() is None
+
+    def test_priority_beats_rotation(self):
+        queue = FairQueue(max_depth=10, per_client_active=10)
+        batch = make_record("alice", priority=5)
+        urgent = make_record("bob", priority=0)
+        queue.submit(batch)
+        queue.submit(urgent)
+        assert queue.next_job() is urgent
+        assert queue.next_job() is batch
+
+    def test_queue_full_raises_with_retry_hint(self):
+        queue = FairQueue(max_depth=1, per_client_active=10)
+        queue.submit(make_record("alice"))
+        with pytest.raises(QueueFull) as excinfo:
+            queue.submit(make_record("bob"))
+        assert excinfo.value.retry_after > 0
+
+    def test_per_client_cap_counts_running_jobs(self):
+        queue = FairQueue(max_depth=10, per_client_active=1)
+        first = make_record("alice")
+        queue.submit(first)
+        assert queue.next_job() is first  # running now
+        with pytest.raises(ClientCapExceeded):
+            queue.submit(make_record("alice"))
+        queue.submit(make_record("bob"))  # other clients are unaffected
+        queue.release(first)
+        queue.submit(make_record("alice"))  # slot freed
+
+    def test_rate_limit_with_exact_retry_after(self):
+        queue = FairQueue(max_depth=100, per_client_active=100, rate=0.5, burst=1)
+        queue.submit(make_record("alice"))
+        with pytest.raises(RateLimited) as excinfo:
+            queue.submit(make_record("alice"))
+        assert 0 < excinfo.value.retry_after <= 2.0
+
+    def test_remove_only_finds_queued_jobs(self):
+        queue = FairQueue()
+        record = make_record("alice")
+        queue.submit(record)
+        assert queue.remove(record.id) is record
+        assert queue.remove(record.id) is None
+
+    def test_token_bucket_refills(self):
+        bucket = TokenBucket(rate=1000.0, burst=1)
+        assert bucket.try_consume() is None
+        wait = bucket.try_consume()
+        assert wait is not None
+        time.sleep(wait + 0.005)
+        assert bucket.try_consume() is None
+
+
+# --------------------------------------------------------------------------- #
+# Integration harness
+# --------------------------------------------------------------------------- #
+
+class BlockingEngine(SweepEngine):
+    """A real engine that parks until released (cancellation-aware)."""
+
+    def __init__(self):
+        super().__init__(workers=0)
+        self.release = threading.Event()
+
+    def run_jobs(self, jobs, batch=None, progress=None, cancel=None):
+        while not self.release.wait(0.005):
+            if cancel is not None and cancel.cancelled:
+                raise SweepCancelled(RunReport())
+        return super().run_jobs(jobs, batch=batch, progress=progress, cancel=cancel)
+
+
+class ServiceHarness:
+    """One live service on an ephemeral port, loop on a daemon thread."""
+
+    def __init__(self, engine=None, **queue_options):
+        self.engine = engine if engine is not None else SweepEngine(workers=0)
+        self.service = SimulationService(
+            engine=self.engine, queue=FairQueue(**queue_options)
+        )
+        self.loop = asyncio.new_event_loop()
+        started = threading.Event()
+
+        def run():
+            asyncio.set_event_loop(self.loop)
+            self.loop.run_until_complete(self.service.start(port=0))
+            started.set()
+            self.loop.run_forever()
+
+        self.thread = threading.Thread(target=run, daemon=True)
+        self.thread.start()
+        assert started.wait(10), "service did not start"
+
+    def client(self, client_id="tester"):
+        return ServiceClient(
+            port=self.service.port, client_id=client_id, timeout=30
+        )
+
+    def close(self):
+        asyncio.run_coroutine_threadsafe(self.service.stop(), self.loop).result(30)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=10)
+        self.loop.close()
+
+
+@pytest.fixture
+def harness():
+    instance = ServiceHarness()
+    yield instance
+    instance.close()
+
+
+@pytest.fixture
+def blocking_harness():
+    engine = BlockingEngine()
+    instance = ServiceHarness(engine=engine, max_depth=1, per_client_active=10)
+    yield instance, engine
+    engine.release.set()
+    instance.close()
+
+
+def wait_for(predicate, timeout=10.0, message="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.01)
+    raise AssertionError(f"timed out waiting for {message}")
+
+
+# --------------------------------------------------------------------------- #
+# HTTP surface
+# --------------------------------------------------------------------------- #
+
+class TestHttpSurface:
+    def test_health_and_stats(self, harness):
+        client = harness.client()
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["protocol"] == 1
+        stats = client.stats()
+        assert stats["queue"]["depth"] == 0
+        assert "cache" in stats["engine"]
+
+    def test_unknown_route_is_404(self, harness):
+        with pytest.raises(ServiceError) as excinfo:
+            harness.client()._request("GET", "/not/a/route")
+        assert excinfo.value.status == 404
+
+    def test_wrong_method_is_405(self, harness):
+        with pytest.raises(ServiceError) as excinfo:
+            harness.client()._request("GET", "/jobs")
+        assert excinfo.value.status == 405
+
+    def test_unknown_job_is_404(self, harness):
+        with pytest.raises(ServiceError) as excinfo:
+            harness.client().status("doesnotexist")
+        assert excinfo.value.status == 404
+
+    def test_non_json_body_is_400(self, harness):
+        import http.client
+
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", harness.service.port, timeout=10
+        )
+        try:
+            connection.request("POST", "/jobs", body=b"{not json",
+                               headers={"Content-Type": "application/json"})
+            response = connection.getresponse()
+            body = json.loads(response.read())
+            assert response.status == 400
+            assert body["reason"] == "bad_json"
+        finally:
+            connection.close()
+
+    def test_malformed_spec_is_400_with_reason(self, harness):
+        with pytest.raises(ServiceError) as excinfo:
+            harness.client().submit({"mechanisms": ["NotReal"], "nrh": [8]})
+        assert excinfo.value.status == 400
+        assert excinfo.value.reason == "bad_spec"
+
+    def test_injection_style_fields_are_rejected(self, harness):
+        spec = dict(TINY_SWEEP)
+        spec["__init__"] = {"evil": True}
+        with pytest.raises(ServiceError) as excinfo:
+            harness.client().submit(spec)
+        assert excinfo.value.status == 400
+
+    def test_websocket_route_without_upgrade_is_426(self, harness):
+        client = harness.client()
+        response = client.submit(dict(TINY_SWEEP))
+        client.wait(str(response["job"]), timeout=60)
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("GET", f"/ws/jobs/{response['job']}")
+        assert excinfo.value.status == 426
+
+
+# --------------------------------------------------------------------------- #
+# Jobs end to end
+# --------------------------------------------------------------------------- #
+
+class TestJobLifecycle:
+    def test_sweep_job_streams_progress_and_finishes(self, harness):
+        client = harness.client("alice")
+        response = client.submit(dict(TINY_SWEEP))
+        assert response["state"] == "queued"
+        events = list(client.watch(str(response["job"]), timeout=60))
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "state"                      # queued
+        assert "plan" in kinds
+        assert "job" in kinds                           # per-job progress
+        assert "report" in kinds
+        final = events[-1]
+        assert (final["event"], final["state"]) == ("state", "done")
+        report = final["result"]["report"]
+        assert report["executed_jobs"] == report["total_jobs"] > 0
+        assert report["engine"] == "serial"
+        assert all(summary["workload"] for summary in final["result"]["results"])
+        # Sequence numbers are gapless: the replay missed nothing.
+        assert [event["seq"] for event in events] == list(range(len(events)))
+
+    def test_duplicate_submission_is_served_from_cache(self, harness):
+        client = harness.client("alice")
+        first = client.submit(dict(TINY_SWEEP))
+        client.wait(str(first["job"]), timeout=60)
+        executed_before = harness.engine.executed_jobs
+        second = client.submit(dict(TINY_SWEEP))
+        assert second["cached_jobs"] == second["num_jobs"]  # visible at admission
+        final = client.wait(str(second["job"]), timeout=60)
+        report = final["result"]["report"]
+        assert report["engine"] == "cached"
+        assert report["cached_jobs"] == report["total_jobs"]
+        assert report["executed_jobs"] == 0
+        assert report["cache_hit_rate"] == 1.0
+        assert harness.engine.executed_jobs == executed_before
+
+    def test_attack_search_job_kind(self, harness):
+        client = harness.client("red")
+        response = client.submit(
+            {"mechanism": "Chronus", "nrh": [64], "pattern": "single_sided"},
+            kind="attack_search",
+        )
+        final = client.wait(str(response["job"]), timeout=120)
+        assert final["state"] == "done"
+        assert final["result"]["results"][0]["nrh"] == 64
+
+    def test_status_snapshot_and_full_event_log(self, harness):
+        client = harness.client()
+        response = client.submit(dict(TINY_SWEEP))
+        client.wait(str(response["job"]), timeout=60)
+        snapshot = client.status(str(response["job"]))
+        assert snapshot["state"] == "done"
+        assert "event_log" not in snapshot
+        full = client.status(str(response["job"]), full=True)
+        assert len(full["event_log"]) == full["events"] > 0
+
+    def test_late_subscriber_replays_the_full_history(self, harness):
+        client = harness.client()
+        response = client.submit(dict(TINY_SWEEP))
+        client.wait(str(response["job"]), timeout=60)
+        # Job already finished; a fresh watch still sees everything.
+        events = list(client.watch(str(response["job"]), timeout=30))
+        assert events[0]["state"] == "queued"
+        assert events[-1]["state"] == "done"
+
+
+# --------------------------------------------------------------------------- #
+# Back-pressure, caps and cancellation
+# --------------------------------------------------------------------------- #
+
+class TestBackpressure:
+    def test_submit_while_full_gets_429_with_retry_after(self, blocking_harness):
+        harness, engine = blocking_harness  # queue depth 1
+        client = harness.client("alice")
+        running = client.submit(dict(TINY_SWEEP))
+        wait_for(
+            lambda: harness.service.jobs[running["job"]].state == "running",
+            message="first job running",
+        )
+        queued = client.submit(dict(TINY_SWEEP))   # fills the bounded queue
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit(dict(TINY_SWEEP))
+        assert excinfo.value.status == 429
+        assert excinfo.value.reason == "queue_full"
+        assert excinfo.value.retry_after >= 1
+        engine.release.set()
+        assert client.wait(str(running["job"]), timeout=60)["state"] == "done"
+        assert client.wait(str(queued["job"]), timeout=60)["state"] == "done"
+
+    def test_per_client_cap_is_per_client(self):
+        harness = ServiceHarness(
+            engine=BlockingEngine(), max_depth=10, per_client_active=1
+        )
+        try:
+            alice, bob = harness.client("alice"), harness.client("bob")
+            first = alice.submit(dict(TINY_SWEEP))
+            with pytest.raises(ServiceError) as excinfo:
+                alice.submit(dict(TINY_SWEEP))
+            assert excinfo.value.status == 429
+            assert excinfo.value.reason == "client_cap"
+            bob.submit(dict(TINY_SWEEP))  # bob is not capped by alice's job
+            harness.engine.release.set()
+            alice.wait(str(first["job"]), timeout=60)
+        finally:
+            harness.engine.release.set()
+            harness.close()
+
+    def test_rate_limited_submission_gets_429(self):
+        harness = ServiceHarness(rate=0.001, burst=1)
+        try:
+            client = harness.client("chatty")
+            client.submit(dict(TINY_SWEEP))
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit(dict(TINY_SWEEP))
+            assert excinfo.value.status == 429
+            assert excinfo.value.reason == "rate_limited"
+        finally:
+            harness.close()
+
+
+class TestCancellation:
+    def test_cancel_queued_job(self, blocking_harness):
+        harness, engine = blocking_harness
+        client = harness.client("alice")
+        running = client.submit(dict(TINY_SWEEP))
+        wait_for(
+            lambda: harness.service.jobs[running["job"]].state == "running",
+            message="first job running",
+        )
+        queued = client.submit(dict(TINY_SWEEP))
+        cancelled = client.cancel(str(queued["job"]))
+        assert cancelled["state"] == "cancelled"
+        engine.release.set()
+        assert client.wait(str(running["job"]), timeout=60)["state"] == "done"
+        # The cancelled job never ran.
+        assert harness.service.jobs[queued["job"]].started_at is None
+
+    def test_cancel_running_job_mid_run(self, blocking_harness):
+        harness, engine = blocking_harness
+        client = harness.client("alice")
+        response = client.submit(dict(TINY_SWEEP))
+        wait_for(
+            lambda: harness.service.jobs[response["job"]].state == "running",
+            message="job running",
+        )
+        client.cancel(str(response["job"]))  # engine blocked: cancel mid-run
+        final = client.wait(str(response["job"]), timeout=60)
+        assert final["state"] == "cancelled"
+
+    def test_cancel_is_idempotent_after_completion(self, harness):
+        client = harness.client()
+        response = client.submit(dict(TINY_SWEEP))
+        client.wait(str(response["job"]), timeout=60)
+        assert client.cancel(str(response["job"]))["state"] == "done"
+
+
+class TestDisconnect:
+    def test_client_disconnect_mid_stream_cleans_subscription(self, blocking_harness):
+        harness, engine = blocking_harness
+        client = harness.client("alice")
+        response = client.submit(dict(TINY_SWEEP))
+        job_id = str(response["job"])
+        watcher = client.watch(job_id, timeout=30)
+        assert next(watcher)["state"] == "queued"
+        wait_for(
+            lambda: harness.service.manager.subscriber_count(job_id) == 1,
+            message="subscription registered",
+        )
+        watcher.close()  # abrupt client exit mid-stream
+        wait_for(
+            lambda: harness.service.manager.subscriber_count(job_id) == 0,
+            message="subscription cleaned up",
+        )
+        # The job is unaffected by the lost subscriber.
+        engine.release.set()
+        assert client.wait(job_id, timeout=60)["state"] == "done"
+
+
+# --------------------------------------------------------------------------- #
+# The acceptance scenario: two concurrent clients, overlap computed once
+# --------------------------------------------------------------------------- #
+
+class TestConcurrentClients:
+    def test_overlapping_sweeps_computed_once_with_live_progress(self, harness):
+        spec = {"mechanisms": ["Chronus"], "nrh": [32], "num_mixes": 1,
+                "accesses": 150}
+        unique_jobs = len(parse_submission({"kind": "sweep", "spec": spec}).jobs)
+        outcomes = {}
+
+        def run_client(name):
+            client = harness.client(name)
+            response = client.submit(dict(spec))
+            events = list(client.watch(str(response["job"]), timeout=120))
+            outcomes[name] = events
+
+        threads = [
+            threading.Thread(target=run_client, args=(name,))
+            for name in ("alice", "bob")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+            assert not thread.is_alive()
+
+        finals = {name: events[-1] for name, events in outcomes.items()}
+        for name, final in finals.items():
+            assert final["state"] == "done", f"{name} did not finish"
+            assert final["result"]["results"], f"{name} got no results"
+        # Both watched live progress (more than just the terminal state).
+        for events in outcomes.values():
+            assert {"plan", "report"} <= {event["event"] for event in events}
+        # The overlap was computed exactly once; the second job's streamed
+        # report shows the cache serving it.
+        assert harness.engine.executed_jobs == unique_jobs
+        reports = sorted(
+            (final["result"]["report"] for final in finals.values()),
+            key=lambda report: report["executed_jobs"],
+        )
+        assert reports[0]["executed_jobs"] == 0
+        assert reports[0]["cache_hit_rate"] == 1.0
+        assert reports[1]["executed_jobs"] == unique_jobs
+        # Both clients received identical result summaries.
+        summaries = [
+            sorted(final["result"]["results"], key=lambda row: row["key"])
+            for final in finals.values()
+        ]
+        assert summaries[0] == summaries[1]
+
+    def test_cancelling_one_client_does_not_disturb_the_other(self, harness):
+        alice, bob = harness.client("alice"), harness.client("bob")
+        big = dict(TINY_SWEEP, accesses=5000, nrh=[64, 128])
+        small = dict(TINY_SWEEP, accesses=120, nrh=[16])
+        first = alice.submit(big)
+        second = bob.submit(small)
+        alice.cancel(str(first["job"]))
+        final_bob = bob.wait(str(second["job"]), timeout=120)
+        assert final_bob["state"] == "done"
+        final_alice = alice.status(str(first["job"]))
+        assert final_alice["state"] in ("cancelled", "done")

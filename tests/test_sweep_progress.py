@@ -1,0 +1,167 @@
+"""Engine progress streaming, cooperative cancellation and pool lifecycle.
+
+These are the SweepEngine features the simulation service is built on:
+``run_jobs(progress=..., cancel=...)``, structured :class:`RunReport`
+serialisation, and the atexit/context-manager pool reaping that keeps
+interrupted runs from leaking worker processes.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments.sweep import (
+    CancelToken,
+    SweepCancelled,
+    SweepEngine,
+    SweepSpec,
+    shutdown_live_engines,
+)
+
+SPEC = SweepSpec(
+    mechanisms=("Chronus",),
+    nrh_values=(128, 64),
+    mixes=(("429.mcf",),),
+    accesses_per_core=150,
+)
+
+
+class TestProgressEvents:
+    def run_with_progress(self, **engine_kwargs):
+        engine = SweepEngine(**engine_kwargs)
+        events = []
+        results = engine.run(SPEC, progress=events.append)
+        return engine, events, results
+
+    @pytest.mark.parametrize("engine_kwargs", [
+        {"workers": 0},
+        {"batch": True},
+    ])
+    def test_event_stream_shape(self, engine_kwargs):
+        engine, events, results = self.run_with_progress(**engine_kwargs)
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "plan"
+        assert kinds[-1] == "report"
+        assert kinds.count("job") == len(results)
+        assert "shard" in kinds
+        plan = events[0]
+        assert plan["total_jobs"] == len(results)
+        assert plan["missing_jobs"] == len(results)
+        assert plan["mode"] == ("batch" if engine_kwargs.get("batch") else "serial")
+        # Per-job events count up monotonically to completion.
+        done = [event["done_jobs"] for event in events if event["event"] == "job"]
+        assert done == list(range(1, len(results) + 1))
+        # Every event is JSON-serialisable as-is (the service sends them raw).
+        json.dumps(events)
+
+    def test_report_event_matches_last_run_report(self):
+        engine, events, _ = self.run_with_progress(workers=0)
+        assert events[-1]["report"] == engine.last_run_report.as_dict()
+
+    def test_fully_cached_run_emits_cached_plan(self):
+        engine = SweepEngine(workers=0)
+        engine.run(SPEC)
+        events = []
+        engine.run(SPEC, progress=events.append)
+        assert [event["event"] for event in events] == ["plan", "report"]
+        assert events[0]["mode"] == "cached"
+        assert events[0]["missing_jobs"] == 0
+        assert events[-1]["report"]["engine"] == "cached"
+
+
+class TestRunReportAsDict:
+    def test_as_dict_is_json_round_trippable(self):
+        engine = SweepEngine(workers=0)
+        engine.run(SPEC)
+        data = engine.last_run_report.as_dict()
+        assert json.loads(json.dumps(data)) == data
+        assert data["engine"] == "serial"
+        assert data["total_jobs"] == data["executed_jobs"] > 0
+        assert data["cache_hit_rate"] == 0.0
+        assert data["wall_seconds"] >= 0.0
+        assert isinstance(data["shards"], list)
+
+    def test_cached_rerun_reports_full_hit_rate(self):
+        engine = SweepEngine(workers=0)
+        engine.run(SPEC)
+        engine.run(SPEC)
+        data = engine.last_run_report.as_dict()
+        assert data["engine"] == "cached"
+        assert data["cache_hit_rate"] == 1.0
+        assert data["executed_jobs"] == 0
+
+
+class TestCancellation:
+    def test_pre_cancelled_token_stops_before_any_work(self):
+        engine = SweepEngine(workers=0)
+        token = CancelToken()
+        token.cancel()
+        with pytest.raises(SweepCancelled) as excinfo:
+            engine.run(SPEC, cancel=token)
+        assert engine.executed_jobs == 0
+        assert excinfo.value.report.executed_jobs == 0
+
+    def test_cancel_after_first_job_keeps_partial_work_cached(self):
+        engine = SweepEngine(workers=0)
+        token = CancelToken()
+
+        def cancel_after_first(event):
+            if event["event"] == "job":
+                token.cancel()
+
+        with pytest.raises(SweepCancelled):
+            engine.run(SPEC, progress=cancel_after_first, cancel=token)
+        assert engine.executed_jobs == 1
+        # The finished job survives in the cache: resubmission resumes.
+        events = []
+        results = engine.run(SPEC, progress=events.append)
+        assert len(results) == len(SPEC.expand())
+        assert events[0]["missing_jobs"] == len(results) - 1
+
+    def test_cancelled_run_does_not_touch_last_run_report(self):
+        engine = SweepEngine(workers=0)
+        engine.run(SPEC)
+        before = engine.last_run_report
+        token = CancelToken()
+        token.cancel()
+        with pytest.raises(SweepCancelled):
+            engine.run(
+                dataclasses.replace(SPEC, accesses_per_core=151), cancel=token
+            )
+        # The partial report travels on the exception, not the engine.
+        assert engine.last_run_report is before
+
+
+class TestPoolLifecycle:
+    def test_context_manager_shuts_pool_down(self):
+        with SweepEngine(workers=2) as engine:
+            engine._ensure_pool()
+            assert engine._pool is not None
+        assert engine._pool is None
+
+    def test_close_is_idempotent(self):
+        engine = SweepEngine(workers=2)
+        engine._ensure_pool()
+        engine.close()
+        engine.close()
+        assert engine._pool is None
+
+    def test_shutdown_live_engines_reaps_open_pools(self):
+        engine = SweepEngine(workers=2)
+        engine._ensure_pool()
+        assert engine._pool is not None
+        reaped = shutdown_live_engines()
+        assert reaped >= 1
+        assert engine._pool is None
+        # Nothing left to reap on the second sweep.
+        engine.close()
+        assert shutdown_live_engines() == 0
+
+    def test_pool_recreated_after_reap(self):
+        engine = SweepEngine(workers=2)
+        engine._ensure_pool()
+        shutdown_live_engines()
+        pool = engine._ensure_pool()
+        assert pool is engine._pool is not None
+        engine.close()
