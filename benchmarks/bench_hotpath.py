@@ -217,6 +217,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             json.dump(bench, handle, indent=1, sort_keys=True)
             handle.write("\n")
         print(f"re-recorded {BENCH_JSON}")
+        from repro.artifacts.emit import emit_bench_artifact
+
+        artifact = emit_bench_artifact(BENCH_JSON)
+        print(f"re-recorded {artifact}")
         return 0
 
     if args.no_check:

@@ -268,6 +268,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             json.dump(bench, handle, indent=1, sort_keys=True)
             handle.write("\n")
         print(f"recorded to {BENCH_JSON}")
+        from repro.artifacts.emit import emit_bench_artifact
+
+        artifact = emit_bench_artifact(BENCH_JSON)
+        print(f"recorded to {artifact}")
 
     for failure in failures:
         print(f"FAIL: {failure}")

@@ -1,0 +1,135 @@
+"""Job-by-job comparison of two artifacts: the cross-PR result-diff tool.
+
+Records are matched by identity -- the ``key`` field their payload carries
+(content-addressed :class:`~repro.experiments.sweep.SimJob` keys for sweep
+artifacts) falling back to ``kind#seq`` -- and compared field by field.
+Volatile kinds (timing reports) are skipped by default so two identical
+sweeps diff clean even though their wall-clock differs; ``--all`` compares
+everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.artifacts.reader import ArtifactReader, ArtifactRecord
+from repro.artifacts.spec import VOLATILE_KINDS
+
+
+@dataclass(frozen=True)
+class FieldChange:
+    path: str
+    left: object
+    right: object
+
+
+@dataclass
+class ArtifactDiff:
+    """The outcome of comparing artifact ``a`` (left) with ``b`` (right)."""
+
+    added: List[str] = field(default_factory=list)
+    removed: List[str] = field(default_factory=list)
+    changed: Dict[str, List[FieldChange]] = field(default_factory=dict)
+    compared: int = 0
+    skipped_kinds: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.added or self.removed or self.changed)
+
+    def summary_lines(self) -> List[str]:
+        lines: List[str] = []
+        for identity in self.removed:
+            lines.append(f"- {identity} (only in left artifact)")
+        for identity in self.added:
+            lines.append(f"+ {identity} (only in right artifact)")
+        for identity, changes in self.changed.items():
+            lines.append(f"~ {identity}")
+            for change in changes:
+                lines.append(
+                    f"    {change.path}: {change.left!r} -> {change.right!r}"
+                )
+        status = "identical" if self.is_empty else "different"
+        skipped = sum(self.skipped_kinds.values())
+        suffix = (
+            f", {skipped} volatile record(s) skipped" if skipped else ""
+        )
+        lines.append(
+            f"{status}: {self.compared} record(s) compared, "
+            f"{len(self.added)} added, {len(self.removed)} removed, "
+            f"{len(self.changed)} changed{suffix}"
+        )
+        return lines
+
+
+def _identity(record: ArtifactRecord) -> str:
+    key = record.payload.get("key")
+    if isinstance(key, str) and key:
+        return f"{record.kind}:{key}"
+    return f"{record.kind}#{record.seq}"
+
+
+def _walk(
+    path: str, left: object, right: object, changes: List[FieldChange]
+) -> None:
+    if type(left) is not type(right):
+        changes.append(FieldChange(path, left, right))
+        return
+    if isinstance(left, dict):
+        for key in sorted(set(left) | set(right)):
+            child = f"{path}.{key}" if path else str(key)
+            if key not in left:
+                changes.append(FieldChange(child, None, right[key]))
+            elif key not in right:
+                changes.append(FieldChange(child, left[key], None))
+            else:
+                _walk(child, left[key], right[key], changes)
+        return
+    if isinstance(left, list):
+        if len(left) != len(right):
+            changes.append(
+                FieldChange(f"{path}.length", len(left), len(right))
+            )
+            return
+        for position, (lv, rv) in enumerate(zip(left, right)):
+            _walk(f"{path}[{position}]", lv, rv, changes)
+        return
+    if left != right:
+        changes.append(FieldChange(path, left, right))
+
+
+def diff_artifacts(
+    left: ArtifactReader,
+    right: ArtifactReader,
+    include_volatile: bool = False,
+    kinds: Optional[Tuple[str, ...]] = None,
+) -> ArtifactDiff:
+    """Compare two verified artifacts record by record."""
+    result = ArtifactDiff()
+
+    def select(reader: ArtifactReader) -> Dict[str, ArtifactRecord]:
+        selected: Dict[str, ArtifactRecord] = {}
+        for record in reader.records():
+            if kinds is not None and record.kind not in kinds:
+                continue
+            if not include_volatile and record.kind in VOLATILE_KINDS:
+                result.skipped_kinds[record.kind] = (
+                    result.skipped_kinds.get(record.kind, 0) + 1
+                )
+                continue
+            selected[_identity(record)] = record
+        return selected
+
+    left_records = select(left)
+    right_records = select(right)
+    result.removed = sorted(set(left_records) - set(right_records))
+    result.added = sorted(set(right_records) - set(left_records))
+    for identity in sorted(set(left_records) & set(right_records)):
+        result.compared += 1
+        changes: List[FieldChange] = []
+        _walk("", left_records[identity].payload,
+              right_records[identity].payload, changes)
+        if changes:
+            result.changed[identity] = changes
+    return result

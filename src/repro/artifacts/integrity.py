@@ -1,0 +1,116 @@
+"""Hashing, signing and key-file handling for artifacts.
+
+The integrity model is layered (weakest to strongest):
+
+* per-record SHA-256 -- catches corruption and lets index seeks validate
+  the bytes they land on;
+* whole-content SHA-256 in the footer -- catches any tampering *including*
+  of headers and the index, but an attacker who can rewrite the file can
+  recompute it;
+* HMAC-SHA256 over the same content bytes, keyed by a secret file --
+  unforgeable without the key, verified with :func:`hmac.compare_digest`
+  so the check leaks no timing information.
+
+The same key doubles as the service's client-auth secret
+(``repro serve --auth-key``): a client proves key possession by sending
+``HMAC(key, client_id)`` and the server compares in constant time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+import secrets
+from typing import Optional, Union
+
+from repro.artifacts.spec import ArtifactKeyError, ArtifactSignatureError
+
+#: Keys below this many bytes are refused outright.
+MIN_KEY_BYTES = 16
+
+#: Size of freshly generated keys.
+DEFAULT_KEY_BYTES = 32
+
+
+def sha256_hex(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def hmac_hex(key: bytes, data: bytes) -> str:
+    return hmac.new(key, data, hashlib.sha256).hexdigest()
+
+
+def sign_content(key: bytes, content: bytes) -> str:
+    """The artifact footer signature for ``content``."""
+    return hmac_hex(key, content)
+
+
+def verify_signature(key: bytes, content: bytes, signature: Optional[str]) -> None:
+    """Constant-time signature check; raises :class:`ArtifactSignatureError`."""
+    if signature is None:
+        raise ArtifactSignatureError(
+            "artifact is unsigned but a verification key was provided"
+        )
+    expected = sign_content(key, content)
+    if not hmac.compare_digest(expected, signature):
+        raise ArtifactSignatureError("artifact signature does not match the key")
+
+
+def auth_token(key: bytes, client_id: str) -> str:
+    """The ``X-Auth-Token`` value proving possession of ``key``."""
+    return hmac_hex(key, client_id.encode("utf-8"))
+
+
+def verify_auth_token(key: bytes, client_id: str, token: str) -> bool:
+    """Constant-time client-auth check (bool: HTTP layer answers 401)."""
+    if not client_id or not token:
+        return False
+    return hmac.compare_digest(auth_token(key, client_id), token)
+
+
+# --------------------------------------------------------------------------- #
+# Key files
+# --------------------------------------------------------------------------- #
+
+def generate_key(num_bytes: int = DEFAULT_KEY_BYTES) -> bytes:
+    return secrets.token_bytes(num_bytes)
+
+
+def write_key_file(
+    path: Union[str, os.PathLike], key: Optional[bytes] = None
+) -> bytes:
+    """Write ``key`` (or a fresh one) as hex, owner-read-only."""
+    if key is None:
+        key = generate_key()
+    if len(key) < MIN_KEY_BYTES:
+        raise ArtifactKeyError(
+            f"refusing to write a {len(key)}-byte key (minimum {MIN_KEY_BYTES})"
+        )
+    descriptor = os.open(
+        os.fspath(path), os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o600
+    )
+    with os.fdopen(descriptor, "w", encoding="ascii") as handle:
+        handle.write(key.hex() + "\n")
+    return key
+
+
+def load_key_file(path: Union[str, os.PathLike]) -> bytes:
+    """Read and validate a hex key file; raises :class:`ArtifactKeyError`."""
+    try:
+        with open(os.fspath(path), "r", encoding="ascii") as handle:
+            text = handle.read().strip()
+    except OSError as error:
+        raise ArtifactKeyError(f"cannot read key file {path!s}: {error}")
+    except UnicodeDecodeError:
+        raise ArtifactKeyError(f"key file {path!s} is not ASCII hex")
+    try:
+        key = bytes.fromhex(text)
+    except ValueError:
+        raise ArtifactKeyError(f"key file {path!s} is not valid hex")
+    if len(key) < MIN_KEY_BYTES:
+        raise ArtifactKeyError(
+            f"key file {path!s} holds only {len(key)} bytes "
+            f"(minimum {MIN_KEY_BYTES})"
+        )
+    return key

@@ -1,0 +1,347 @@
+"""Artifact reader: full structural + integrity verification, index seeks.
+
+The reader is deliberately paranoid: *opening* an artifact performs a full
+sequential parse that validates every structural rule of the format
+(:mod:`repro.artifacts.spec`), every per-record checksum, the index
+(bounds-checked and cross-checked against the scan), the whole-content
+checksum, and -- when a key is supplied -- the HMAC signature in constant
+time.  There is no lazy mode where a crafted file partially "works":
+either the whole container verifies or a typed :class:`ArtifactError`
+names what is wrong.
+
+:meth:`ArtifactReader.record_at` then serves random access the fast way --
+seek straight to the index offset, read exactly ``length`` bytes -- which
+is safe precisely because the offsets were validated up front.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.artifacts import integrity
+from repro.artifacts.spec import (
+    ArtifactError,
+    ArtifactFormatError,
+    ArtifactIndexError,
+    ArtifactIntegrityError,
+    ArtifactMarkerError,
+    ArtifactTruncatedError,
+    END_MARKER,
+    Footer,
+    INDEX_MARKER,
+    IndexEntry,
+    MAGIC_MARKER,
+    META_MARKER,
+    MagicHeader,
+    RECORD_MARKER,
+    RecordHeader,
+    SECTION_PREFIX,
+    SectionHeader,
+    parse_payload,
+    split_header_line,
+)
+
+
+@dataclass(frozen=True)
+class ArtifactRecord:
+    """One verified record."""
+
+    seq: int
+    kind: str
+    payload: Dict[str, object]
+    offset: int
+    length: int
+    sha256: str
+
+
+class ArtifactReader:
+    """Parse + verify one artifact from a path or raw bytes."""
+
+    def __init__(
+        self,
+        source: Union[str, os.PathLike, bytes],
+        key: Optional[bytes] = None,
+    ) -> None:
+        if isinstance(source, bytes):
+            self.path: Optional[str] = None
+            self._data = source
+        else:
+            self.path = os.fspath(source)
+            try:
+                with open(self.path, "rb") as handle:
+                    self._data = handle.read()
+            except OSError as error:
+                raise ArtifactTruncatedError(
+                    f"cannot read artifact {self.path}: {error}"
+                )
+        self.key = key
+        self.meta: Dict[str, object] = {}
+        self.magic: Optional[MagicHeader] = None
+        self.footer: Optional[Footer] = None
+        self.index_entries: Tuple[IndexEntry, ...] = ()
+        #: Byte offset of the ``#@index`` header line (resume truncates here).
+        self.index_offset = 0
+        self._records: List[ArtifactRecord] = []
+        self._parse()
+
+    # ------------------------------------------------------------------ #
+    # Parsing
+    # ------------------------------------------------------------------ #
+    def _read_line(self, pos: int, what: str) -> Tuple[bytes, int]:
+        end = self._data.find(b"\n", pos)
+        if end < 0:
+            raise ArtifactTruncatedError(
+                f"artifact ends inside {what} (no line terminator)"
+            )
+        return self._data[pos:end], end + 1
+
+    def _read_section_payload(
+        self, pos: int, length: int, sha256: str, what: str
+    ) -> Tuple[bytes, int]:
+        """Read exactly ``length`` payload bytes + the terminating newline."""
+        end = pos + length
+        if end >= len(self._data):
+            raise ArtifactTruncatedError(
+                f"artifact ends inside {what} payload "
+                f"(declared {length} bytes at offset {pos})"
+            )
+        blob = self._data[pos:end]
+        if self._data[end:end + 1] != b"\n":
+            raise ArtifactFormatError(
+                f"{what} payload at offset {pos} is not newline-terminated "
+                f"(length field disagrees with the stream)"
+            )
+        if b"\n" in blob or b"\r" in blob:
+            raise ArtifactMarkerError(
+                f"{what} payload at offset {pos} contains newline bytes "
+                f"(possible embedded section marker)"
+            )
+        if integrity.sha256_hex(blob) != sha256:
+            raise ArtifactIntegrityError(
+                f"{what} payload checksum mismatch at offset {pos}"
+            )
+        return blob, end + 1
+
+    def _parse(self) -> None:
+        data = self._data
+        if not data:
+            raise ArtifactTruncatedError("artifact is empty")
+
+        # Magic line.
+        line, pos = self._read_line(0, "the magic line")
+        marker, mapping = split_header_line(line, "magic")
+        if marker != MAGIC_MARKER:
+            raise ArtifactFormatError(
+                f"not a repro artifact (first line starts with {marker!r})"
+            )
+        self.magic = MagicHeader.parse(mapping)
+
+        # Meta section.
+        line, pos = self._read_line(pos, "the meta header")
+        marker, mapping = split_header_line(line, "meta")
+        if marker != META_MARKER:
+            raise ArtifactFormatError(f"expected {META_MARKER} line, got {marker!r}")
+        meta_header = SectionHeader.parse_meta(mapping)
+        blob, pos = self._read_section_payload(
+            pos, meta_header.length, meta_header.sha256, "meta"
+        )
+        self.meta = parse_payload(blob, "meta")
+
+        # Record sections until the index.
+        index_header: Optional[SectionHeader] = None
+        while True:
+            line_start = pos
+            line, pos = self._read_line(pos, "a section header")
+            marker, mapping = split_header_line(line, "section")
+            if marker == RECORD_MARKER:
+                header = RecordHeader.parse(mapping)
+                if header.seq != len(self._records):
+                    raise ArtifactFormatError(
+                        f"record at offset {line_start} declares seq "
+                        f"{header.seq}, expected {len(self._records)}"
+                    )
+                payload_offset = pos
+                blob, pos = self._read_section_payload(
+                    pos, header.length, header.sha256,
+                    f"record {header.seq}",
+                )
+                self._records.append(ArtifactRecord(
+                    seq=header.seq, kind=header.kind,
+                    payload=parse_payload(blob, f"record {header.seq}"),
+                    offset=payload_offset, length=header.length,
+                    sha256=header.sha256,
+                ))
+                continue
+            if marker == INDEX_MARKER:
+                self.index_offset = line_start
+                index_header = SectionHeader.parse_index(mapping)
+                break
+            raise ArtifactFormatError(
+                f"unexpected section marker {marker!r} at offset {line_start} "
+                f"(expected {RECORD_MARKER} or {INDEX_MARKER})"
+            )
+
+        # Index section.
+        assert index_header is not None
+        blob, pos = self._read_section_payload(
+            pos, index_header.length, index_header.sha256, "index"
+        )
+        content_length = pos  # footer checksums cover [0, here)
+        index_payload = parse_payload(blob, "index")
+        if set(index_payload) != {"entries"}:
+            raise ArtifactIndexError(
+                f"index payload must hold exactly 'entries', "
+                f"got {sorted(index_payload)}"
+            )
+        raw_entries = index_payload["entries"]
+        if not isinstance(raw_entries, list):
+            raise ArtifactIndexError("index entries must be a list")
+        entries = tuple(IndexEntry.parse(entry) for entry in raw_entries)
+        if index_header.count != len(entries):
+            raise ArtifactIndexError(
+                f"index header declares {index_header.count} entries, "
+                f"payload holds {len(entries)}"
+            )
+        self._validate_index(entries)
+        self.index_entries = entries
+
+        # Footer.
+        line, pos = self._read_line(pos, "the footer")
+        marker, mapping = split_header_line(line, "footer")
+        if marker != END_MARKER:
+            raise ArtifactFormatError(f"expected {END_MARKER} line, got {marker!r}")
+        self.footer = Footer.parse(mapping)
+        if pos != len(data):
+            raise ArtifactFormatError(
+                f"{len(data) - pos} trailing bytes after the {END_MARKER} line"
+            )
+        if self.footer.records != len(self._records):
+            raise ArtifactIndexError(
+                f"footer declares {self.footer.records} records, "
+                f"stream holds {len(self._records)}"
+            )
+        content = data[:content_length]
+        if integrity.sha256_hex(content) != self.footer.content_sha256:
+            raise ArtifactIntegrityError("artifact content checksum mismatch")
+        if self.key is not None:
+            integrity.verify_signature(self.key, content, self.footer.signature)
+        self._content_length = content_length
+
+    def _validate_index(self, entries: Tuple[IndexEntry, ...]) -> None:
+        """Bounds-check every offset, then cross-check against the scan."""
+        if len(entries) != len(self._records):
+            raise ArtifactIndexError(
+                f"index holds {len(entries)} entries, "
+                f"stream holds {len(self._records)} records"
+            )
+        for entry in entries:
+            # IndexEntry.parse already rejected negative ints; re-assert the
+            # invariant here so a future parser change cannot silently drop
+            # the bounds check, then cap against the record region.
+            if entry.offset < 0 or entry.length < 0:
+                raise ArtifactIndexError(
+                    f"index entry {entry.seq} has negative offset/length"
+                )
+            if entry.offset + entry.length > self.index_offset:
+                raise ArtifactIndexError(
+                    f"index entry {entry.seq} points past the record region "
+                    f"({entry.offset}+{entry.length} > {self.index_offset})"
+                )
+            if not 0 <= entry.seq < len(self._records):
+                raise ArtifactIndexError(
+                    f"index entry seq {entry.seq} out of range"
+                )
+            record = self._records[entry.seq]
+            actual = (record.kind, record.offset, record.length, record.sha256)
+            declared = (entry.kind, entry.offset, entry.length, entry.sha256)
+            if actual != declared:
+                raise ArtifactIndexError(
+                    f"index entry {entry.seq} disagrees with the record "
+                    f"stream: declared {declared}, scanned {actual}"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+    @property
+    def signed(self) -> bool:
+        return self.footer is not None and self.footer.signature is not None
+
+    @property
+    def signature_verified(self) -> bool:
+        return self.signed and self.key is not None
+
+    @property
+    def record_count(self) -> int:
+        return len(self._records)
+
+    def records(self) -> List[ArtifactRecord]:
+        return list(self._records)
+
+    def records_of_kind(self, kind: str) -> List[ArtifactRecord]:
+        return [record for record in self._records if record.kind == kind]
+
+    def content_bytes(self) -> bytes:
+        return self._data
+
+    def record_at(self, seq: int) -> ArtifactRecord:
+        """Random access through the index: seek, read, re-verify.
+
+        This intentionally goes back to the raw bytes (not the parsed list)
+        so the index offsets themselves are what is exercised.
+        """
+        if not 0 <= seq < len(self.index_entries):
+            raise ArtifactIndexError(
+                f"no record {seq} (artifact holds {len(self.index_entries)})"
+            )
+        entry = self.index_entries[seq]
+        if self.path is not None:
+            with open(self.path, "rb") as handle:
+                handle.seek(entry.offset)
+                blob = handle.read(entry.length)
+        else:
+            stream = io.BytesIO(self._data)
+            stream.seek(entry.offset)
+            blob = stream.read(entry.length)
+        if len(blob) != entry.length:
+            raise ArtifactTruncatedError(
+                f"seek to record {seq} at offset {entry.offset} ran off the "
+                f"end of the artifact"
+            )
+        if integrity.sha256_hex(blob) != entry.sha256:
+            raise ArtifactIntegrityError(
+                f"record {seq} checksum mismatch after index seek"
+            )
+        return ArtifactRecord(
+            seq=seq, kind=entry.kind,
+            payload=parse_payload(blob, f"record {seq}"),
+            offset=entry.offset, length=entry.length, sha256=entry.sha256,
+        )
+
+    def verify_summary(self) -> Dict[str, object]:
+        """What ``python -m repro artifact verify`` prints on success."""
+        kinds: Dict[str, int] = {}
+        for record in self._records:
+            kinds[record.kind] = kinds.get(record.kind, 0) + 1
+        assert self.footer is not None
+        return {
+            "path": self.path,
+            "bytes": len(self._data),
+            "records": len(self._records),
+            "kinds": kinds,
+            "signed": self.signed,
+            "signature_verified": self.signature_verified,
+            "content_sha256": self.footer.content_sha256,
+            "repro_version": self.meta.get("repro_version"),
+            "cache_schema_version": self.meta.get("cache_schema_version"),
+        }
+
+
+def verify_artifact(
+    source: Union[str, os.PathLike, bytes], key: Optional[bytes] = None
+) -> Dict[str, object]:
+    """Open + fully verify ``source``; returns the verification summary."""
+    return ArtifactReader(source, key=key).verify_summary()

@@ -26,10 +26,19 @@ Subcommands:
     a mechanism and compares it with the analytical bound, and ``attack
     compare`` tabulates that boundary across mechanisms.
 
+``artifact``
+    The result-artifact toolbox (:mod:`repro.artifacts`): ``artifact
+    keygen`` creates an HMAC key file, ``artifact verify`` fully checks one
+    artifact (typed error + nonzero exit on any corruption), ``artifact
+    show`` prints its provenance and records, and ``artifact diff``
+    compares two artifacts job-by-job -- the cross-PR result-diff tool.
+
 ``serve``
     Run the long-lived simulation service (:mod:`repro.service`): clients
     submit sweep / attack-search jobs over HTTP and stream live progress
     over WebSocket, all multiplexed onto one shared engine and cache.
+    ``--auth-key FILE`` authenticates clients (HMAC of the client id,
+    compared in constant time; 401 otherwise) and signs served artifacts.
 
 ``client``
     The matching thin client: ``client submit`` posts a job (``--watch``
@@ -45,6 +54,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Dict, List, Optional, Sequence
 
@@ -137,6 +147,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the run report (RunReport.as_dict) as JSON -- the "
              "same serialization the service streams and the benches record",
     )
+    sweep.add_argument(
+        "--artifact", default=None, metavar="PATH",
+        help="emit the run as a signed, self-describing result artifact "
+             "(full SystemConfig + per-job results; see docs/ARTIFACTS.md)",
+    )
+    sweep.add_argument(
+        "--sign-key", default=None, metavar="FILE",
+        help="HMAC key file signing --artifact (create one with "
+             "'artifact keygen')",
+    )
 
     cache = subparsers.add_parser("cache", help="inspect or clear the result cache")
     cache.add_argument("action", choices=["info", "clear"])
@@ -228,6 +248,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--dry-run", action="store_true",
         help="list the grid-scan probe jobs and their cache status, then exit",
     )
+    search.add_argument(
+        "--artifact", default=None, metavar="PATH",
+        help="emit the probe outcomes as a result artifact "
+             "(see docs/ARTIFACTS.md)",
+    )
+    search.add_argument(
+        "--sign-key", default=None, metavar="FILE",
+        help="HMAC key file signing --artifact",
+    )
 
     compare = attack_sub.add_parser(
         "compare", help="tabulate the empirical vs analytical boundary per mechanism"
@@ -243,6 +272,52 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"patterns to try (default: {', '.join(DEFAULT_COMPARE_PATTERNS)})",
     )
     add_search_options(compare)
+
+    artifact = subparsers.add_parser(
+        "artifact", help="verify, inspect and diff result artifacts"
+    )
+    artifact_sub = artifact.add_subparsers(dest="artifact_command", required=True)
+
+    keygen = artifact_sub.add_parser(
+        "keygen", help="generate an HMAC signing/auth key file"
+    )
+    keygen.add_argument("path", help="where to write the key (hex, mode 0600)")
+    keygen.add_argument(
+        "--force", action="store_true", help="overwrite an existing key file"
+    )
+
+    verify = artifact_sub.add_parser(
+        "verify",
+        help="fully verify one artifact (nonzero exit on any corruption)",
+    )
+    verify.add_argument("path", help="artifact to verify")
+    verify.add_argument(
+        "--key", default=None, metavar="FILE",
+        help="HMAC key file; with it the signature must verify too",
+    )
+
+    show = artifact_sub.add_parser(
+        "show", help="print an artifact's provenance meta and record listing"
+    )
+    show.add_argument("path", help="artifact to show")
+    show.add_argument(
+        "--key", default=None, metavar="FILE",
+        help="HMAC key file (verifies the signature before showing)",
+    )
+    show.add_argument(
+        "--records", action="store_true",
+        help="also print every record payload as JSON lines",
+    )
+
+    adiff = artifact_sub.add_parser(
+        "diff", help="compare two artifacts job-by-job"
+    )
+    adiff.add_argument("left", help="baseline artifact")
+    adiff.add_argument("right", help="artifact to compare against the baseline")
+    adiff.add_argument(
+        "--all", action="store_true", dest="include_volatile",
+        help="also compare volatile kinds (timing reports)",
+    )
 
     serve = subparsers.add_parser(
         "serve", help="run the simulation service (HTTP + WebSocket job server)"
@@ -285,6 +360,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="keep results in memory only (no on-disk cache)",
     )
+    serve.add_argument(
+        "--auth-key", default=None, metavar="FILE",
+        help="HMAC key file: clients must send X-Auth-Token = "
+             "HMAC(key, client id) or are answered 401, and served "
+             "artifacts are signed with the same key",
+    )
 
     client = subparsers.add_parser(
         "client", help="talk to a running simulation service"
@@ -296,6 +377,10 @@ def build_parser() -> argparse.ArgumentParser:
     client.add_argument(
         "--client-id", default="cli", metavar="NAME",
         help="client identity for fairness/rate accounting (default: cli)",
+    )
+    client.add_argument(
+        "--auth-key", default=None, metavar="FILE",
+        help="HMAC key file matching the server's --auth-key",
     )
     client_sub = client.add_subparsers(dest="client_command", required=True)
 
@@ -345,6 +430,15 @@ def build_parser() -> argparse.ArgumentParser:
     cancel = client_sub.add_parser("cancel", help="cancel one job")
     cancel.add_argument("job_id")
 
+    cartifact = client_sub.add_parser(
+        "artifact", help="download one finished job's signed result artifact"
+    )
+    cartifact.add_argument("job_id")
+    cartifact.add_argument(
+        "--out", required=True, metavar="PATH",
+        help="where to write the artifact",
+    )
+
     client_sub.add_parser("health", help="print the service health document")
     client_sub.add_parser("stats", help="print the service statistics")
     client_sub.add_parser("shutdown", help="ask the service to stop cleanly")
@@ -356,6 +450,19 @@ def _resolve_cache(args: argparse.Namespace) -> ResultCache:
         return ResultCache(directory=None)
     directory = args.cache_dir if args.cache_dir is not None else default_cache_dir()
     return ResultCache(directory=directory)
+
+
+def _load_key_arg(path: Optional[str]) -> Optional[bytes]:
+    """Load an HMAC key file argument; ``None`` stays ``None``.
+
+    Raises :class:`repro.artifacts.ArtifactError` (the caller turns it into
+    exit code 2 -- a usage error, not a verification failure).
+    """
+    if path is None:
+        return None
+    from repro.artifacts import load_key_file
+
+    return load_key_file(path)
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -438,6 +545,27 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         with open(args.report_json, "w", encoding="utf-8") as handle:
             json.dump(engine.last_run_report.as_dict(), handle, indent=2, sort_keys=True)
         print(f"run report written to {args.report_json}")
+    if args.artifact:
+        from repro.artifacts import ArtifactError
+        from repro.artifacts.emit import emit_run_artifact
+
+        try:
+            key = _load_key_arg(args.sign_key)
+            # compare() ran every job through the engine, so the cache's
+            # memory layer holds every result.
+            results = {job.key: cache.get(job.key) for job in jobs}
+            count = emit_run_artifact(
+                args.artifact, jobs, results,
+                report=engine.last_run_report, base_config=base_config,
+                key=key,
+                extra_meta={"command": "sweep", "accesses": args.accesses,
+                            "seed": args.seed},
+            )
+        except ArtifactError as error:
+            print(f"error: {type(error).__name__}: {error}", file=sys.stderr)
+            return 2
+        signed = " (signed)" if key is not None else ""
+        print(f"artifact written to {args.artifact}: {count} record(s){signed}")
     return 0
 
 
@@ -637,6 +765,23 @@ def _cmd_attack_search(args: argparse.Namespace) -> int:
         f"\n{redteam.engine.executed_jobs} probes simulated; "
         f"{redteam.engine.cache.summary()}"
     )
+    if args.artifact:
+        from repro.artifacts import ArtifactError
+        from repro.artifacts.emit import emit_probe_artifact
+
+        try:
+            key = _load_key_arg(args.sign_key)
+            count = emit_probe_artifact(
+                args.artifact, report.probes,
+                base_config=redteam.base_config, key=key,
+                extra_meta={"command": "attack search",
+                            "mechanism": args.mechanism, "seed": args.seed},
+            )
+        except ArtifactError as error:
+            print(f"error: {type(error).__name__}: {error}", file=sys.stderr)
+            return 2
+        signed = " (signed)" if key is not None else ""
+        print(f"artifact written to {args.artifact}: {count} record(s){signed}")
     return 0
 
 
@@ -680,6 +825,110 @@ def _cmd_attack_compare(args: argparse.Namespace) -> int:
 
 
 # --------------------------------------------------------------------------- #
+# artifact subcommands
+# --------------------------------------------------------------------------- #
+
+def _cmd_artifact_keygen(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.artifacts import write_key_file
+
+    if os.path.exists(args.path) and not args.force:
+        print(
+            f"error: {args.path} exists (pass --force to overwrite)",
+            file=sys.stderr,
+        )
+        return 2
+    key = write_key_file(args.path)
+    print(f"wrote {len(key)}-byte key to {args.path} (mode 0600)")
+    return 0
+
+
+def _cmd_artifact_verify(args: argparse.Namespace) -> int:
+    from repro.artifacts import ArtifactError, ArtifactKeyError, verify_artifact
+
+    try:
+        key = _load_key_arg(args.key)
+    except ArtifactKeyError as error:
+        print(f"error: {type(error).__name__}: {error}", file=sys.stderr)
+        return 2
+    try:
+        summary = verify_artifact(args.path, key=key)
+    except ArtifactError as error:
+        print(f"error: {type(error).__name__}: {error}", file=sys.stderr)
+        return 1
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    print(f"OK: {args.path} verified ({summary['records']} records)")
+    return 0
+
+
+def _cmd_artifact_show(args: argparse.Namespace) -> int:
+    from repro.artifacts import ArtifactError, ArtifactKeyError, ArtifactReader
+
+    try:
+        key = _load_key_arg(args.key)
+    except ArtifactKeyError as error:
+        print(f"error: {type(error).__name__}: {error}", file=sys.stderr)
+        return 2
+    try:
+        reader = ArtifactReader(args.path, key=key)
+    except ArtifactError as error:
+        print(f"error: {type(error).__name__}: {error}", file=sys.stderr)
+        return 1
+    print(json.dumps({"meta": reader.meta}, indent=2, sort_keys=True))
+    rows = [
+        {
+            "seq": record.seq,
+            "kind": record.kind,
+            "bytes": record.length,
+            "key": str(record.payload.get("key", "-"))[:48],
+        }
+        for record in reader.records()
+    ]
+    if rows:
+        print(format_rows(rows))
+    summary = reader.verify_summary()
+    print(
+        f"\n{summary['records']} record(s), "
+        f"{'signed' if summary['signed'] else 'unsigned'}"
+        f"{' + signature verified' if summary['signature_verified'] else ''}"
+    )
+    if args.records:
+        for record in reader.records():
+            print(json.dumps(record.payload, sort_keys=True))
+    return 0
+
+
+def _cmd_artifact_diff(args: argparse.Namespace) -> int:
+    from repro.artifacts import ArtifactError, ArtifactReader, diff_artifacts
+
+    try:
+        left = ArtifactReader(args.left)
+        right = ArtifactReader(args.right)
+    except ArtifactError as error:
+        print(f"error: {type(error).__name__}: {error}", file=sys.stderr)
+        return 2
+    outcome = diff_artifacts(
+        left, right, include_volatile=args.include_volatile
+    )
+    for line in outcome.summary_lines():
+        print(line)
+    return 0 if outcome.is_empty else 1
+
+
+def _cmd_artifact(args: argparse.Namespace) -> int:
+    if args.artifact_command == "keygen":
+        return _cmd_artifact_keygen(args)
+    if args.artifact_command == "verify":
+        return _cmd_artifact_verify(args)
+    if args.artifact_command == "show":
+        return _cmd_artifact_show(args)
+    if args.artifact_command == "diff":
+        return _cmd_artifact_diff(args)
+    raise AssertionError(f"unhandled artifact command {args.artifact_command!r}")
+
+
+# --------------------------------------------------------------------------- #
 # serve / client subcommands
 # --------------------------------------------------------------------------- #
 
@@ -696,6 +945,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     cache_dir = None if args.no_cache else (
         args.cache_dir if args.cache_dir is not None else default_cache_dir()
     )
+    from repro.artifacts import ArtifactKeyError
+
+    try:
+        auth_key = _load_key_arg(args.auth_key)
+    except ArtifactKeyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     service = SimulationService.build(
         cache_dir=cache_dir,
         workers=workers,
@@ -704,6 +960,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         per_client_active=args.client_cap,
         rate=args.rate,
         burst=args.burst,
+        auth_key=auth_key,
     )
     try:
         asyncio.run(run_service(service, host=args.host, port=args.port))
@@ -777,6 +1034,7 @@ def _print_event(event: Dict[str, object]) -> None:
 
 
 def _cmd_client(args: argparse.Namespace) -> int:
+    from repro.artifacts import ArtifactKeyError
     from repro.service.client import ServiceClient, ServiceError
 
     try:
@@ -784,7 +1042,14 @@ def _cmd_client(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    client = ServiceClient(host=host, port=port, client_id=args.client_id)
+    try:
+        auth_key = _load_key_arg(args.auth_key)
+    except ArtifactKeyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    client = ServiceClient(
+        host=host, port=port, client_id=args.client_id, auth_key=auth_key
+    )
     try:
         if args.client_command == "submit":
             try:
@@ -816,6 +1081,29 @@ def _cmd_client(args: argparse.Namespace) -> int:
             return 0
         if args.client_command == "cancel":
             print(json.dumps(client.cancel(args.job_id), indent=2, sort_keys=True))
+            return 0
+        if args.client_command == "artifact":
+            from repro.artifacts import ArtifactError, ArtifactReader
+
+            blob = client.artifact(args.job_id)
+            try:
+                reader = ArtifactReader(blob, key=auth_key)
+            except ArtifactError as error:
+                print(
+                    f"error: served artifact failed verification: "
+                    f"{type(error).__name__}: {error}",
+                    file=sys.stderr,
+                )
+                return 1
+            with open(args.out, "wb") as handle:
+                handle.write(blob)
+            summary = reader.verify_summary()
+            print(
+                f"artifact for job {args.job_id} written to {args.out}: "
+                f"{summary['records']} record(s), "
+                f"{'signed' if summary['signed'] else 'unsigned'}"
+                f"{' + signature verified' if summary['signature_verified'] else ''}"
+            )
             return 0
         if args.client_command == "health":
             print(json.dumps(client.health(), indent=2, sort_keys=True))
@@ -850,7 +1138,17 @@ def _cmd_attack(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(build_parser().parse_args(argv))
+    except BrokenPipeError:
+        # Piping into ``head``/``jq`` closes stdout early (common with
+        # ``artifact show``); swap in devnull so interpreter shutdown does
+        # not raise again while flushing, and exit quietly.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def _dispatch(args) -> int:
     if args.command == "sweep":
         return _cmd_sweep(args)
     if args.command == "cache":
@@ -859,6 +1157,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_mechanisms()
     if args.command == "attack":
         return _cmd_attack(args)
+    if args.command == "artifact":
+        return _cmd_artifact(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "client":

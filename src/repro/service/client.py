@@ -46,11 +46,25 @@ class ServiceClient:
         port: int = 8123,
         client_id: str = "anonymous",
         timeout: float = 30.0,
+        auth_key: Optional[bytes] = None,
     ) -> None:
         self.host = host
         self.port = port
         self.client_id = client_id
         self.timeout = timeout
+        self.auth_key = auth_key
+        if auth_key is not None:
+            from repro.artifacts.integrity import auth_token
+
+            self._auth_token: Optional[str] = auth_token(auth_key, client_id)
+        else:
+            self._auth_token = None
+
+    def _base_headers(self) -> Dict[str, str]:
+        headers = {"X-Client": self.client_id}
+        if self._auth_token is not None:
+            headers["X-Auth-Token"] = self._auth_token
+        return headers
 
     # ------------------------------------------------------------------ #
     # REST
@@ -63,7 +77,7 @@ class ServiceClient:
         )
         try:
             payload = None
-            headers = {"X-Client": self.client_id}
+            headers = self._base_headers()
             if body is not None:
                 payload = json.dumps(body).encode("utf-8")
                 headers["Content-Type"] = "application/json"
@@ -117,6 +131,35 @@ class ServiceClient:
     def cancel(self, job_id: str) -> Dict[str, object]:
         return self._request("POST", f"/jobs/{job_id}/cancel")
 
+    def artifact(self, job_id: str) -> bytes:
+        """Download a finished job's result artifact (raw bytes).
+
+        Verify with :class:`repro.artifacts.ArtifactReader` -- pass the
+        shared auth key to also check the signature.
+        """
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request(
+                "GET", f"/jobs/{job_id}/artifact", headers=self._base_headers()
+            )
+            response = connection.getresponse()
+            raw = response.read()
+            if response.status >= 400:
+                try:
+                    decoded = json.loads(raw.decode("utf-8"))
+                except ValueError:
+                    decoded = {"error": raw.decode("utf-8", "replace")}
+                raise ServiceError(
+                    response.status,
+                    str(decoded.get("error", "request failed")),
+                    reason=str(decoded.get("reason", "")),
+                )
+            return raw
+        finally:
+            connection.close()
+
     def shutdown(self) -> Dict[str, object]:
         return self._request("POST", "/shutdown")
 
@@ -140,6 +183,10 @@ class ServiceClient:
         )
         try:
             key = protocol.websocket_client_key()
+            auth_line = (
+                f"X-Auth-Token: {self._auth_token}\r\n"
+                if self._auth_token is not None else ""
+            )
             handshake = (
                 f"GET /ws/jobs/{job_id} HTTP/1.1\r\n"
                 f"Host: {self.host}:{self.port}\r\n"
@@ -148,6 +195,7 @@ class ServiceClient:
                 f"Sec-WebSocket-Key: {key}\r\n"
                 "Sec-WebSocket-Version: 13\r\n"
                 f"X-Client: {self.client_id}\r\n"
+                f"{auth_line}"
                 "\r\n"
             )
             sock.sendall(handshake.encode("latin-1"))

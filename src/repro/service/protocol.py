@@ -57,6 +57,7 @@ REASON_PHRASES = {
     202: "Accepted",
     204: "No Content",
     400: "Bad Request",
+    401: "Unauthorized",
     404: "Not Found",
     405: "Method Not Allowed",
     409: "Conflict",

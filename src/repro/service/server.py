@@ -27,6 +27,13 @@ clients:
   running job's :class:`~repro.experiments.sweep.CancelToken` --
   cancellation is cooperative, and everything computed before the
   cancellation point stays cached.
+* ``GET /jobs/{id}/artifact`` serves a finished job's results as a
+  self-describing result artifact (:mod:`repro.artifacts`) -- signed when
+  the service holds an ``auth_key``.
+* With an ``auth_key``, every route except ``/healthz`` demands
+  ``X-Auth-Token = HMAC(key, X-Client)`` (constant-time compare, 401
+  otherwise) -- replacing the honor-system ``X-Client`` header as the
+  client identity.
 
 Event-log consistency relies on every mutation happening on the event-loop
 thread; the executor's worker thread only ever talks to the loop through
@@ -132,11 +139,17 @@ class SimulationService:
         engine: SweepEngine,
         queue: Optional[FairQueue] = None,
         default_client: str = "anonymous",
+        auth_key: Optional[bytes] = None,
     ) -> None:
         self.engine = engine
         self.queue = queue if queue is not None else FairQueue()
         self.manager = ConnectionManager()
         self.default_client = default_client
+        #: When set, every route except ``/healthz`` requires
+        #: ``X-Auth-Token = HMAC(auth_key, X-Client)`` (constant-time
+        #: compare; 401 otherwise), and served artifacts are signed with
+        #: the same key.  ``None`` keeps the open, honor-system behaviour.
+        self.auth_key = auth_key
         self.jobs: Dict[str, JobRecord] = {}
         self.started_at = time.time()
         self.port: Optional[int] = None
@@ -166,6 +179,7 @@ class SimulationService:
         per_client_active: int = 4,
         rate: float = 10.0,
         burst: int = 20,
+        auth_key: Optional[bytes] = None,
     ) -> "SimulationService":
         """Standard wiring: one engine over an on-disk (or memory) cache."""
         engine = SweepEngine(
@@ -179,7 +193,7 @@ class SimulationService:
             rate=rate,
             burst=burst,
         )
-        return cls(engine=engine, queue=queue)
+        return cls(engine=engine, queue=queue, auth_key=auth_key)
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -318,6 +332,11 @@ class SimulationService:
                 return
             if request is None:
                 return
+            denied = self._auth_error(request)
+            if denied is not None:
+                writer.write(denied)
+                await writer.drain()
+                return
             if request.path.startswith("/ws/"):
                 await self._handle_websocket(request, reader, writer)
                 return
@@ -332,6 +351,33 @@ class SimulationService:
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
+
+    def _auth_error(self, request: protocol.HttpRequest) -> Optional[bytes]:
+        """401 response when auth is on and the request fails it, else None.
+
+        Applies to every route -- HTTP and WebSocket upgrades alike --
+        except ``/healthz`` (liveness probes must work before keys are
+        distributed).  The token binds the *client identity* the fairness
+        queue accounts against: ``X-Auth-Token = HMAC(key, X-Client)``,
+        compared in constant time, so an attacker can neither submit jobs
+        nor impersonate another client's queue quota.
+        """
+        if self.auth_key is None:
+            return None
+        if request.path.rstrip("/") == "/healthz":
+            return None
+        from repro.artifacts.integrity import verify_auth_token
+
+        client = request.header("x-client")
+        token = request.header("x-auth-token")
+        if verify_auth_token(self.auth_key, client, token):
+            return None
+        return protocol.error_response(
+            401,
+            "missing or invalid X-Auth-Token for this X-Client "
+            "(token = HMAC-SHA256(key, client id), hex)",
+            reason="unauthorized",
+        )
 
     def _route_http(self, request: protocol.HttpRequest) -> bytes:
         path = request.path.rstrip("/") or "/"
@@ -366,6 +412,8 @@ class SimulationService:
         if len(parts) == 3 and request.method == "GET":
             full = request.query.get("full") in ("1", "true", "yes")
             return protocol.json_response(200, record.snapshot(full=full))
+        if len(parts) == 4 and parts[3] == "artifact" and request.method == "GET":
+            return self._handle_artifact(record)
         wants_cancel = (
             (len(parts) == 4 and parts[3] == "cancel" and request.method == "POST")
             or (len(parts) == 3 and request.method == "DELETE")
@@ -407,6 +455,11 @@ class SimulationService:
             body = request.json()
         except protocol.ProtocolError as error:
             return protocol.error_response(400, str(error), reason="bad_json")
+        if self.auth_key is not None and isinstance(body, dict):
+            # The authenticated identity wins: a body-level "client" field
+            # must not let one key holder bill another client's quota.
+            body = dict(body)
+            body["client"] = request.header("x-client", self.default_client)
         try:
             submission = parse_submission(
                 body,
@@ -452,6 +505,29 @@ class SimulationService:
                 "num_jobs": len(record.jobs),
                 "cached_jobs": cached,
                 "watch": f"/ws/jobs/{record.id}",
+            },
+        )
+
+    def _handle_artifact(self, record: JobRecord) -> bytes:
+        """``GET /jobs/{id}/artifact``: the job's results as a verifiable
+        (and, with ``--auth-key``, signed) artifact instead of bare JSON."""
+        if record.state != JobState.DONE:
+            return protocol.error_response(
+                409,
+                f"job {record.id} is {record.state}; artifacts are served "
+                f"for done jobs only",
+                reason="not_done",
+            )
+        from repro.artifacts.emit import service_job_records
+        from repro.artifacts.writer import write_artifact_bytes
+
+        meta, records = service_job_records(record, self.engine.cache)
+        body = write_artifact_bytes(meta, records, key=self.auth_key)
+        return protocol.http_response(
+            200, body,
+            content_type="application/x-repro-artifact",
+            extra_headers={
+                "X-Artifact-Signed": "1" if self.auth_key is not None else "0",
             },
         )
 

@@ -62,6 +62,38 @@ class TestEntryDocuments:
         assert "docs/SERVICE.md" in readme
         assert "python -m repro serve" in readme
 
+    def test_artifacts_doc_covers_the_contract(self):
+        artifacts = (REPO_ROOT / "docs" / "ARTIFACTS.md").read_text(
+            encoding="utf-8"
+        )
+        for needle in (
+            "#!REPRO-ARTIFACT", "HMAC", "constant time",
+            "python -m repro artifact verify", "canonical JSON",
+            "ArtifactIndexError", "ArtifactHeaderError", "--auth-key",
+            "tests/test_artifacts_security.py", "X-Auth-Token",
+        ):
+            assert needle in artifacts, f"ARTIFACTS.md is missing {needle!r}"
+
+    def test_readme_mentions_artifacts(self):
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        assert "docs/ARTIFACTS.md" in readme
+        assert "artifact verify" in readme
+
+    def test_service_doc_covers_authentication(self):
+        service = (REPO_ROOT / "docs" / "SERVICE.md").read_text(encoding="utf-8")
+        for needle in (
+            "--auth-key", "X-Auth-Token", "401", "/jobs/{id}/artifact",
+            "ARTIFACTS.md",
+        ):
+            assert needle in service, f"SERVICE.md is missing {needle!r}"
+
+    def test_experiments_doc_mentions_artifact_emission(self):
+        experiments = (REPO_ROOT / "docs" / "EXPERIMENTS.md").read_text(
+            encoding="utf-8"
+        )
+        assert "--artifact" in experiments
+        assert "ARTIFACTS.md" in experiments
+
     def test_experiment_and_attack_docs_mention_channels_knob(self):
         experiments = (REPO_ROOT / "docs" / "EXPERIMENTS.md").read_text(
             encoding="utf-8"

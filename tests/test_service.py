@@ -293,10 +293,12 @@ class BlockingEngine(SweepEngine):
 class ServiceHarness:
     """One live service on an ephemeral port, loop on a daemon thread."""
 
-    def __init__(self, engine=None, **queue_options):
+    def __init__(self, engine=None, auth_key=None, **queue_options):
         self.engine = engine if engine is not None else SweepEngine(workers=0)
+        self.auth_key = auth_key
         self.service = SimulationService(
-            engine=self.engine, queue=FairQueue(**queue_options)
+            engine=self.engine, queue=FairQueue(**queue_options),
+            auth_key=auth_key,
         )
         self.loop = asyncio.new_event_loop()
         started = threading.Event()
@@ -311,9 +313,10 @@ class ServiceHarness:
         self.thread.start()
         assert started.wait(10), "service did not start"
 
-    def client(self, client_id="tester"):
+    def client(self, client_id="tester", auth_key=None):
         return ServiceClient(
-            port=self.service.port, client_id=client_id, timeout=30
+            port=self.service.port, client_id=client_id, timeout=30,
+            auth_key=auth_key,
         )
 
     def close(self):
@@ -658,3 +661,138 @@ class TestConcurrentClients:
         assert final_bob["state"] == "done"
         final_alice = alice.status(str(first["job"]))
         assert final_alice["state"] in ("cancelled", "done")
+
+
+# --------------------------------------------------------------------------- #
+# Authentication + signed artifacts
+# --------------------------------------------------------------------------- #
+
+@pytest.fixture
+def auth_harness():
+    from repro.artifacts import generate_key
+
+    key = generate_key()
+    instance = ServiceHarness(auth_key=key)
+    yield instance, key
+    instance.close()
+
+
+class TestAuthentication:
+    """Every route except /healthz requires X-Auth-Token = HMAC(key, client)
+    -- enforced over real sockets, HTTP and WebSocket alike."""
+
+    def test_healthz_stays_open_without_a_token(self, auth_harness):
+        harness, _key = auth_harness
+        health = harness.client().health()  # no auth_key on this client
+        assert health["status"] == "ok"
+
+    def test_request_without_token_is_401(self, auth_harness):
+        harness, _key = auth_harness
+        with pytest.raises(ServiceError) as excinfo:
+            harness.client().stats()
+        assert excinfo.value.status == 401
+        assert excinfo.value.reason == "unauthorized"
+
+    def test_submit_without_token_is_401(self, auth_harness):
+        harness, _key = auth_harness
+        with pytest.raises(ServiceError) as excinfo:
+            harness.client().submit(dict(TINY_SWEEP))
+        assert excinfo.value.status == 401
+
+    def test_token_from_wrong_key_is_401(self, auth_harness):
+        from repro.artifacts import generate_key
+
+        harness, _key = auth_harness
+        with pytest.raises(ServiceError) as excinfo:
+            harness.client(auth_key=generate_key()).stats()
+        assert excinfo.value.status == 401
+
+    def test_token_for_other_client_is_401(self, auth_harness):
+        from repro.artifacts.integrity import auth_token
+
+        harness, key = auth_harness
+        client = harness.client("mallory")
+        # A valid token, but minted for a different client id.
+        client._auth_token = auth_token(key, "alice")
+        with pytest.raises(ServiceError) as excinfo:
+            client.stats()
+        assert excinfo.value.status == 401
+
+    def test_authenticated_job_runs_end_to_end(self, auth_harness):
+        harness, key = auth_harness
+        client = harness.client(auth_key=key)
+        response = client.submit(dict(TINY_SWEEP))
+        final = client.wait(str(response["job"]), timeout=120)
+        assert final["state"] == "done"
+
+    def test_websocket_watch_without_token_is_401(self, auth_harness):
+        harness, key = auth_harness
+        job = harness.client(auth_key=key).submit(dict(TINY_SWEEP))
+        with pytest.raises(ServiceError) as excinfo:
+            list(harness.client().watch(str(job["job"]), timeout=10))
+        assert excinfo.value.status == 401
+
+    def test_body_client_cannot_spoof_the_authenticated_identity(
+        self, auth_harness
+    ):
+        harness, key = auth_harness
+        alice = harness.client("alice", auth_key=key)
+        response = alice._request("POST", "/jobs", body={
+            "kind": "sweep",
+            "client": "bob",  # spoof attempt: bill bob's quota
+            "spec": dict(TINY_SWEEP),
+        })
+        status = alice.status(str(response["job"]))
+        assert status["client"] == "alice"
+
+
+class TestArtifactEndpoint:
+    def test_done_job_serves_a_signed_verifiable_artifact(self, auth_harness):
+        from repro.artifacts import ArtifactReader
+
+        harness, key = auth_harness
+        client = harness.client(auth_key=key)
+        response = client.submit(dict(TINY_SWEEP))
+        job_id = str(response["job"])
+        client.wait(job_id, timeout=120)
+        blob = client.artifact(job_id)
+        reader = ArtifactReader(blob, key=key)  # full verify incl. HMAC
+        assert reader.signed and reader.signature_verified
+        assert reader.meta["job_id"] == job_id
+        assert reader.meta["client"] == "tester"
+        jobs = reader.records_of_kind("job")
+        assert jobs, "artifact carries no job records"
+        for record in jobs:
+            assert record.payload["result"]["cycles"] > 0
+        assert reader.records_of_kind("report")
+
+    def test_artifact_without_auth_key_is_unsigned(self, harness):
+        from repro.artifacts import ArtifactReader
+
+        client = harness.client()
+        response = client.submit(dict(TINY_SWEEP))
+        job_id = str(response["job"])
+        client.wait(job_id, timeout=120)
+        reader = ArtifactReader(client.artifact(job_id))
+        assert reader.signed is False
+        assert reader.record_count > 0
+
+    def test_unfinished_job_artifact_is_409(self, blocking_harness):
+        harness, engine = blocking_harness
+        client = harness.client()
+        response = client.submit(dict(TINY_SWEEP))
+        with pytest.raises(ServiceError) as excinfo:
+            client.artifact(str(response["job"]))
+        assert excinfo.value.status == 409
+        assert excinfo.value.reason == "not_done"
+        engine.release.set()
+
+    def test_artifact_without_token_is_401(self, auth_harness):
+        harness, key = auth_harness
+        client = harness.client(auth_key=key)
+        response = client.submit(dict(TINY_SWEEP))
+        job_id = str(response["job"])
+        client.wait(job_id, timeout=120)
+        with pytest.raises(ServiceError) as excinfo:
+            harness.client().artifact(job_id)
+        assert excinfo.value.status == 401
