@@ -11,7 +11,7 @@ do.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence
+from typing import List, Sequence
 
 from repro.dram.organization import STORAGE_STUDY_ORGANIZATION, DramOrganization
 

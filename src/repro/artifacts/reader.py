@@ -38,7 +38,6 @@ from repro.artifacts.spec import (
     MagicHeader,
     RECORD_MARKER,
     RecordHeader,
-    SECTION_PREFIX,
     SectionHeader,
     parse_payload,
     split_header_line,

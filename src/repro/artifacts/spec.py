@@ -39,7 +39,7 @@ from __future__ import annotations
 import json
 import re
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, Mapping, Optional
 
 from repro import __version__ as REPRO_VERSION
 from repro.experiments.cache import CACHE_SCHEMA_VERSION

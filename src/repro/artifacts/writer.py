@@ -27,7 +27,6 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.artifacts import integrity
 from repro.artifacts.spec import (
-    ArtifactError,
     ArtifactFormatError,
     ArtifactSignatureError,
     END_MARKER,

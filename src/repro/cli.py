@@ -33,6 +33,13 @@ Subcommands:
     show`` prints its provenance and records, and ``artifact diff``
     compares two artifacts job-by-job -- the cross-PR result-diff tool.
 
+``lint``
+    reprolint, the project-aware static contract checker
+    (:mod:`repro.lint`): six AST rules enforce the no-reflection,
+    hot-path-allocation, determinism, canonical-JSON, cache-key and
+    event-source invariants documented in docs/LINTING.md.  Exit 0 means
+    clean against the committed baseline; any *new* finding exits 1.
+
 ``serve``
     Run the long-lived simulation service (:mod:`repro.service`): clients
     submit sweep / attack-search jobs over HTTP and stream live progress
@@ -166,6 +173,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     subparsers.add_parser("mechanisms", help="list the available mechanism names")
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run reprolint, the project-aware static contract checker",
+    )
+    from repro.lint.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
 
     attack = subparsers.add_parser(
         "attack", help="attack synthesis and empirical red-team search"
@@ -1155,6 +1170,10 @@ def _dispatch(args) -> int:
         return _cmd_cache(args)
     if args.command == "mechanisms":
         return _cmd_mechanisms()
+    if args.command == "lint":
+        from repro.lint.cli import run_lint
+
+        return run_lint(args)
     if args.command == "attack":
         return _cmd_attack(args)
     if args.command == "artifact":

@@ -35,6 +35,7 @@ Hot-path design (the event-horizon engine):
 
 from __future__ import annotations
 
+import operator
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -48,6 +49,10 @@ from repro.dram.refresh import RefreshScheduler
 
 #: Sentinel "no event" hint.
 FAR_FUTURE = 1 << 62
+
+#: Arrival-order sort key of the demand candidate scan, hoisted so the
+#: per-issue hot path does not build a closure per call.
+_BY_REQUEST_ID = operator.attrgetter("request_id")
 
 
 @dataclass(slots=True)
@@ -549,7 +554,7 @@ class MemoryController:
                     candidates.append(head)
                 if second is not None and hit_ready:
                     candidates.append(second)
-        candidates.sort(key=lambda r: r.request_id)
+        candidates.sort(key=_BY_REQUEST_ID)
         for request in candidates:
             if self._serve_request(request, is_read, buckets, cycle):
                 if self._fast:

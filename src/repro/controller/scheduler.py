@@ -110,9 +110,11 @@ class FrFcfsCapScheduler:
         # bank has not exhausted its reordering cap *and* the older request
         # targets the same bank (otherwise there is no reordering conflict).
         bank = best_hit.bank_id
-        older_conflict_same_bank = any(
-            r.request_id < best_hit.request_id and r.bank_id == bank for r in queue
-        )
+        older_conflict_same_bank = False
+        for r in queue:
+            if r.request_id < best_hit.request_id and r.bank_id == bank:
+                older_conflict_same_bank = True
+                break
         if older_conflict_same_bank and self._hit_streak.get(bank, 0) >= self.cap:
             return oldest
         return best_hit

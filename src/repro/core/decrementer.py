@@ -23,7 +23,7 @@ gate and transistor counts *and* functional correctness independently.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List
 
 

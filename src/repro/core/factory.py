@@ -24,7 +24,7 @@ from repro.core.abacus import ABACuS
 from repro.core.chronus import Chronus, ChronusPB
 from repro.core.graphene import Graphene
 from repro.core.hydra import Hydra
-from repro.core.mitigation import ControllerMitigation, NoMitigation, OnDieMitigation
+from repro.core.mitigation import ControllerMitigation, OnDieMitigation
 from repro.core.para import PARA
 from repro.core.prac import PRAC
 from repro.core.prfm import PRFM

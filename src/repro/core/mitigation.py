@@ -23,8 +23,8 @@ plugin architecture that the paper's artifact builds on.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
 
 #: Listener signature for victim-refresh events:
 #: ``(bank_id, aggressor_row, num_rows, cycle)``.  ``aggressor_row`` is None

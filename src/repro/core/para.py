@@ -11,7 +11,6 @@ overheads the largest of all evaluated mechanisms at low thresholds
 
 from __future__ import annotations
 
-import math
 import random
 from typing import Dict, Optional
 

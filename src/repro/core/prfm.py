@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import bisect
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.analysis.security import (
     DEFAULT_PARAMETERS,

@@ -15,7 +15,7 @@ checks and lets the test-suite verify both layers independently.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.dram.timing import TimingParams

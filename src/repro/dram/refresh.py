@@ -19,7 +19,7 @@ exhausted.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.dram.timing import TimingParams

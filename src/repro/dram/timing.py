@@ -25,7 +25,7 @@ functions below convert from nanoseconds using the speed bin's clock period.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict
 
 

@@ -20,7 +20,7 @@ Mechanism-specific costs are captured by:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Mapping
 
 

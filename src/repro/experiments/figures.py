@@ -23,8 +23,6 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.bandwidth import (
     bandwidth_attack_table,
-    chronus_max_bandwidth_consumption,
-    prac_max_bandwidth_consumption,
 )
 from repro.analysis.security import (
     DEFAULT_BACKOFF_THRESHOLDS,

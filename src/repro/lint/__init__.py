@@ -1,0 +1,48 @@
+"""reprolint: the project-aware static contract checker.
+
+The repo's correctness invariants -- the no-reflection posture of the
+artifact parsers, the allocation-free hot path, run-to-run determinism,
+canonical-JSON-only payloads, cache-key completeness and the
+event-horizon hint registry -- are enforced at review time by AST rules
+instead of (only) probabilistically by runtime tests.
+
+Run it as ``python -m repro lint`` (or ``python tools/reprolint.py`` in
+CI).  See docs/LINTING.md for the rule catalogue, the suppression policy
+(``# reprolint: disable=RULE -- reason``) and the baseline workflow.
+"""
+
+from repro.lint.baseline import (
+    BaselineEntry,
+    BaselineError,
+    load_baseline,
+    partition,
+    write_baseline,
+)
+from repro.lint.framework import (
+    FileContext,
+    Finding,
+    LintResult,
+    Project,
+    ProjectRule,
+    Rule,
+    parse_project,
+    run_rules,
+)
+from repro.lint.rules import default_rules
+
+__all__ = [
+    "BaselineEntry",
+    "BaselineError",
+    "FileContext",
+    "Finding",
+    "LintResult",
+    "Project",
+    "ProjectRule",
+    "Rule",
+    "default_rules",
+    "load_baseline",
+    "parse_project",
+    "partition",
+    "run_rules",
+    "write_baseline",
+]

@@ -1,0 +1,171 @@
+"""The committed findings baseline.
+
+Pre-existing, reviewed findings live in a committed JSON file (default
+``tools/reprolint_baseline.json``).  A lint run partitions its findings
+against it:
+
+* **accepted** -- matched by a baseline entry; does not fail CI,
+* **new** -- not in the baseline; fails CI,
+* **stale** -- baseline entries no findings match any more (the code was
+  fixed); reported so the baseline gets pruned, but non-fatal.
+
+Matching is by the ``(rule, path, message)`` fingerprint with
+multiplicity -- line numbers shift on every unrelated edit and would churn
+the baseline.  Every entry carries a mandatory ``reason`` explaining why
+the finding is accepted rather than fixed; ``--write-baseline`` refuses to
+run when it would have to invent one (it stamps a placeholder that the
+meta check in :func:`load_baseline` rejects on the next load), so
+accepting a finding is always an explicit, reviewed act.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.lint.framework import Finding
+
+BASELINE_VERSION = 1
+
+#: Stamped by ``--write-baseline`` for entries that need a human reason;
+#: entries still carrying it fail the next load.
+PLACEHOLDER_REASON = "TODO: justify or fix"
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed (a usage error, not a lint finding)."""
+
+
+@dataclass
+class BaselineEntry:
+    rule: str
+    path: str
+    message: str
+    reason: str
+    line: int = 0  #: informational only; not part of the match
+
+    @property
+    def fingerprint(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.message)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class Partition:
+    """A lint run's findings split against the baseline."""
+
+    new: List[Finding] = field(default_factory=list)
+    accepted: List[Finding] = field(default_factory=list)
+    stale: List[BaselineEntry] = field(default_factory=list)
+
+
+def load_baseline(path: Path) -> List[BaselineEntry]:
+    """Load and validate the baseline; a missing file is an empty baseline."""
+    if not path.is_file():
+        return []
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except ValueError as error:
+        raise BaselineError(f"{path}: baseline is not valid JSON: {error}")
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"{path}: expected a baseline object with version={BASELINE_VERSION}"
+        )
+    entries_raw = data.get("entries")
+    if not isinstance(entries_raw, list):
+        raise BaselineError(f"{path}: 'entries' must be a list")
+    entries: List[BaselineEntry] = []
+    for index, raw in enumerate(entries_raw):
+        if not isinstance(raw, dict):
+            raise BaselineError(f"{path}: entry {index} is not an object")
+        try:
+            entry = BaselineEntry(
+                rule=str(raw["rule"]),
+                path=str(raw["path"]),
+                message=str(raw["message"]),
+                reason=str(raw["reason"]),
+                line=int(raw.get("line", 0)),
+            )
+        except KeyError as error:
+            raise BaselineError(
+                f"{path}: entry {index} is missing the {error.args[0]!r} field"
+            )
+        if not entry.reason.strip() or entry.reason == PLACEHOLDER_REASON:
+            raise BaselineError(
+                f"{path}: entry {index} ({entry.rule} in {entry.path}) has no "
+                f"justification -- every accepted finding needs a written reason"
+            )
+        entries.append(entry)
+    return entries
+
+
+def partition(
+    findings: Sequence[Finding], baseline: Sequence[BaselineEntry]
+) -> Partition:
+    """Split findings into new/accepted and detect stale baseline entries."""
+    remaining: Dict[Tuple[str, str, str], List[BaselineEntry]] = {}
+    for entry in baseline:
+        remaining.setdefault(entry.fingerprint, []).append(entry)
+    result = Partition()
+    for finding in findings:
+        bucket = remaining.get(finding.fingerprint)
+        if bucket:
+            bucket.pop()
+            result.accepted.append(finding)
+        else:
+            result.new.append(finding)
+    for bucket in remaining.values():
+        result.stale.extend(bucket)
+    result.stale.sort(key=lambda e: (e.path, e.rule, e.message))
+    return result
+
+
+def write_baseline(
+    path: Path,
+    findings: Sequence[Finding],
+    previous: Sequence[BaselineEntry] = (),
+) -> int:
+    """Write the current findings as the new baseline.
+
+    Reasons are carried over from matching entries of the previous
+    baseline; findings without one get :data:`PLACEHOLDER_REASON`, which
+    the next :func:`load_baseline` rejects -- forcing the author to either
+    fix the finding or justify it before the baseline is usable.
+    """
+    reasons: Dict[Tuple[str, str, str], List[str]] = {}
+    for entry in previous:
+        reasons.setdefault(entry.fingerprint, []).append(entry.reason)
+    entries = []
+    for finding in sorted(
+        findings, key=lambda f: (f.path, f.line, f.rule, f.message)
+    ):
+        carried = reasons.get(finding.fingerprint)
+        reason = carried.pop(0) if carried else PLACEHOLDER_REASON
+        entries.append(
+            BaselineEntry(
+                rule=finding.rule,
+                path=finding.path,
+                message=finding.message,
+                reason=reason,
+                line=finding.line,
+            )
+        )
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": [entry.as_dict() for entry in entries],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return len(entries)

@@ -1,0 +1,131 @@
+"""The ``python -m repro lint`` command (and ``tools/reprolint.py``).
+
+Exit codes follow the CI contract:
+
+* ``0`` -- no findings beyond the committed baseline,
+* ``1`` -- at least one new finding (or a parse error),
+* ``2`` -- usage/configuration error (bad root, malformed baseline).
+
+``--write-baseline`` regenerates the baseline from the current findings,
+carrying over the written reasons of entries that still match; brand-new
+entries get a placeholder reason the next load *rejects*, so accepting a
+finding always requires writing down why.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.lint import manifest
+from repro.lint.baseline import (
+    BaselineError,
+    load_baseline,
+    partition,
+    write_baseline,
+)
+from repro.lint.framework import parse_project, run_rules
+from repro.lint.reporters import render_human, render_json
+from repro.lint.rules import default_rules
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """The ``lint`` options (shared by repro.cli and tools/reprolint.py)."""
+    parser.add_argument(
+        "paths", nargs="*", default=None,
+        help=(
+            f"files or directories to lint, relative to --root "
+            f"(default: {' '.join(manifest.DEFAULT_SCAN_PATHS)}); partial "
+            f"scans skip cross-file rules whose inputs are out of scope"
+        ),
+    )
+    parser.add_argument(
+        "--root", default=".", metavar="DIR",
+        help="repository root the scan paths and manifests are relative to "
+             "(default: the current directory)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help=f"baseline file (default: <root>/{manifest.DEFAULT_BASELINE}; "
+             f"a missing file is an empty baseline)",
+    )
+    parser.add_argument(
+        "--format", choices=["human", "json"], default="human",
+        help="report format (json is what CI uploads)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="accept the current findings into the baseline (reasons of "
+             "still-matching entries are carried over; new entries get a "
+             "placeholder that must be edited before the baseline loads)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    rules = default_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.name}: {rule.description}")
+        return 0
+
+    root = Path(args.root).resolve()
+    paths = list(args.paths) if args.paths else list(manifest.DEFAULT_SCAN_PATHS)
+    if not any((root / p).exists() for p in paths):
+        print(
+            f"error: nothing to lint under {root} "
+            f"(paths: {', '.join(paths)})",
+            file=sys.stderr,
+        )
+        return 2
+
+    baseline_path = (
+        Path(args.baseline)
+        if args.baseline is not None
+        else root / manifest.DEFAULT_BASELINE
+    )
+
+    project, parse_errors = parse_project(root, paths)
+    result = run_rules(project, rules, parse_errors)
+
+    if args.write_baseline:
+        try:
+            previous = load_baseline(baseline_path)
+        except BaselineError:
+            previous = []  # a malformed baseline is rebuilt from scratch
+        count = write_baseline(baseline_path, result.findings, previous)
+        print(f"baseline written to {baseline_path}: {count} entr(y/ies)")
+        return 0
+
+    try:
+        baseline = load_baseline(baseline_path)
+    except BaselineError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    split = partition(result.findings, baseline)
+
+    shown_baseline = str(baseline_path)
+    if args.format == "json":
+        print(json.dumps(render_json(result, split, shown_baseline),
+                         indent=2, sort_keys=True))
+    else:
+        for line in render_human(result, split, shown_baseline):
+            print(line)
+    return 1 if split.new else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Standalone entry point (``tools/reprolint.py``)."""
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="Project-aware static contract checker for the "
+                    "Chronus reproduction (see docs/LINTING.md).",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))

@@ -1,0 +1,116 @@
+"""Project manifests the reprolint rules are configured with.
+
+This module is the one place where the lint rules learn *which* parts of
+the tree carry which invariant.  Adding a new hot-path function, event
+source or protected package means editing a manifest here (and, for event
+sources, documenting the class in ``docs/ARCHITECTURE.md``) -- the rules
+themselves stay generic.
+
+Paths are repo-relative POSIX strings; entries ending in ``/`` name a
+subtree, otherwise an exact file.
+"""
+
+from __future__ import annotations
+
+#: Packages whose parsers must never reflect parsed input into attribute
+#: writes (the artifact container and the service submission whitelist --
+#: see the threat model in docs/ARTIFACTS.md).
+NO_REFLECTION_TARGETS = (
+    "src/repro/artifacts/",
+    "src/repro/service/specs.py",
+)
+
+#: Packages whose payload bytes must all derive from the canonical JSON
+#: helper so a value has exactly one byte representation.
+CANONICAL_JSON_TARGETS = (
+    "src/repro/artifacts/",
+    "src/repro/service/",
+)
+
+#: The one module allowed to call ``json.dumps``: the canonical helper
+#: itself (everything else routes through it).
+CANONICAL_JSON_ALLOWED = ("src/repro/artifacts/spec.py",)
+
+#: Simulation packages that must stay deterministic run-to-run: the
+#: content-addressed ResultCache and every byte-identity pin
+#: (test_event_horizon.py, test_batch_equivalence.py, the golden
+#: regression) silently depend on it.
+DETERMINISM_TARGETS = (
+    "src/repro/dram/",
+    "src/repro/controller/",
+    "src/repro/core/",
+    "src/repro/system/",
+    "src/repro/cpu/",
+    "src/repro/attacks/",
+)
+
+#: The allocation-free data plane (PRs 4-6): functions that run once per
+#: DRAM command, per dispatched access or per idle wake.  Python-level
+#: allocation constructs (comprehensions, closures, f-strings, */**
+#: expansion) in these bodies regress the measured hot-path wins.
+#: Maps file -> frozenset of dotted qualnames within that file.
+HOT_PATH_FUNCTIONS = {
+    "src/repro/controller/controller.py": frozenset({
+        "MemoryController.tick",
+        "MemoryController._next_event_hint",
+        "MemoryController._fold_bank_hint",
+        "MemoryController._demand_ready_cycle",
+        "MemoryController._service_demand",
+    }),
+    "src/repro/controller/scheduler.py": frozenset({
+        "FrFcfsCapScheduler.choose",
+        "FrFcfsCapScheduler.choose_from_buckets",
+        "FrFcfsCapScheduler._arbitrate",
+        "FrFcfsCapScheduler._arbitrate_bucketed",
+        "FrFcfsCapScheduler.on_scheduled",
+        "FrFcfsCapScheduler.on_row_closed",
+    }),
+    "src/repro/core/counters.py": frozenset({
+        "_DictPerRowCounters.increment",
+        "_DictPerRowCounters.get",
+        "_DictPerRowCounters.reset_row",
+        "_ArrayPerRowCounters.increment",
+        "_ArrayPerRowCounters.get",
+        "_ArrayPerRowCounters.reset_row",
+    }),
+    "src/repro/dram/refresh.py": frozenset({
+        "RefreshScheduler.tick",
+        "RefreshScheduler.next_due_cycle",
+    }),
+    "src/repro/cpu/core.py": frozenset({
+        "Core.next_event_cycle",
+    }),
+}
+
+#: Method names that look like event-horizon wake hints.  Any class
+#: defining one is an event source under the "early, never late" contract
+#: and must be registered below.
+HINT_METHOD_PATTERN = r"(?:^|_)next_(?:event_(?:hint|cycle)|due_cycle)$"
+
+#: The hint-contract registry: every (file, class, method) that feeds the
+#: event horizon.  Each class must also be named in docs/ARCHITECTURE.md's
+#: event-horizon section -- the doc *is* the contract's specification.
+HINT_EVENT_SOURCES = frozenset({
+    ("src/repro/controller/controller.py", "MemoryController", "_next_event_hint"),
+    ("src/repro/controller/controller.py", "MemoryController", "next_event_cycle"),
+    ("src/repro/cpu/core.py", "Core", "next_event_cycle"),
+    ("src/repro/dram/refresh.py", "RefreshScheduler", "next_due_cycle"),
+})
+
+#: Where the hint contract is documented (checked for each source class).
+ARCHITECTURE_DOC = "docs/ARCHITECTURE.md"
+
+#: The cache-key completeness cross-check (the exact bug PR 1 fixed: a new
+#: SystemConfig knob silently missing from the cache key).
+CONFIG_MODULE = "src/repro/system/config.py"
+CONFIG_CLASS = "SystemConfig"
+PAYLOAD_MODULE = "src/repro/experiments/cache.py"
+PAYLOAD_FUNCTION = "config_payload"
+GROUP_KEY_MODULE = "src/repro/experiments/batch.py"
+GROUP_FREE_FIELDS_CONST = "GROUP_FREE_CONFIG_FIELDS"
+
+#: Default scan scope of ``python -m repro lint``.
+DEFAULT_SCAN_PATHS = ("src/repro",)
+
+#: Default committed baseline location.
+DEFAULT_BASELINE = "tools/reprolint_baseline.json"

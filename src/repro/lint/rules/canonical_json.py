@@ -1,0 +1,73 @@
+"""Rule ``canonical-json``: one serializer for every persisted payload.
+
+Within the artifact and service packages every JSON byte must derive from
+``repro.artifacts.spec.canonical_json`` (sorted keys, no whitespace,
+ASCII-only, ``allow_nan=False``) so a value has exactly one byte
+representation and record markers can never be smuggled through a payload.
+A stray ``json.dumps`` elsewhere in those packages reintroduces a second
+encoding -- this rule flags every ``json.dumps``/``json.dump`` call (and
+``from json import dumps`` aliases) outside the canonical helper module.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.lint.framework import FileContext, Finding, Rule
+from repro.lint import manifest
+
+
+class CanonicalJsonRule(Rule):
+    name = "canonical-json"
+    description = (
+        "json.dumps in repro.artifacts / repro.service must route through "
+        "the canonical helper in artifacts/spec.py"
+    )
+    targets = manifest.CANONICAL_JSON_TARGETS
+
+    def __init__(self, targets=None, allowed=None) -> None:
+        if targets is not None:
+            self.targets = tuple(targets)
+        self.allowed = tuple(
+            manifest.CANONICAL_JSON_ALLOWED if allowed is None else allowed
+        )
+
+    def begin_file(self, ctx: FileContext) -> None:
+        # Names bound to the json module / its dump functions in this file.
+        self._json_modules = set()
+        self._dump_aliases = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "json":
+                        self._json_modules.add(alias.asname or "json")
+            elif isinstance(node, ast.ImportFrom) and node.module == "json":
+                for alias in node.names:
+                    if alias.name in ("dumps", "dump"):
+                        self._dump_aliases.add(alias.asname or alias.name)
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> Optional[List[Finding]]:
+        if ctx.rel_path in self.allowed:
+            return None
+        func = node.func
+        hit = False
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in ("dumps", "dump")
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self._json_modules
+        ):
+            hit = True
+        elif isinstance(func, ast.Name) and func.id in self._dump_aliases:
+            hit = True
+        if not hit:
+            return None
+        return [
+            self.finding(
+                ctx, node,
+                "json.dumps outside the canonical helper: use "
+                "repro.artifacts.spec.canonical_json so payload bytes have "
+                "exactly one representation",
+            )
+        ]

@@ -1,0 +1,113 @@
+"""Rule ``no-reflection``: parsed input must never drive attribute writes.
+
+Generalizes the regex source scan that ``tests/test_artifacts_security.py``
+used to pin the artifact parsers' no-``setattr`` posture into a real AST
+rule.  In the protected zones (the artifact container and the service
+submission whitelist) it flags every construct that can turn attacker data
+into an attribute write or code execution:
+
+* ``setattr`` / ``delattr`` / ``eval`` / ``exec`` calls,
+* any ``.__setattr__``/``.__delattr__`` call (including
+  ``object.__setattr__``, the classic frozen-dataclass bypass),
+* writes through ``vars(...)[...]`` / ``globals()[...]``,
+* ``__dict__`` mutation: subscript writes, whole-``__dict__`` assignment,
+  and mutating method calls (``update`` / ``setdefault`` / ``pop`` /
+  ``clear``) on a ``__dict__``.
+
+The AST form also sees what a regex cannot: aliased calls are still direct
+``Name``/``Attribute`` nodes, while a mention inside a comment or string
+no longer false-positives.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.lint.framework import FileContext, Finding, Rule
+from repro.lint import manifest
+
+_BANNED_CALLS = {
+    "setattr": "setattr() turns parsed input into attribute writes",
+    "delattr": "delattr() lets parsed input remove attributes",
+    "eval": "eval() executes parsed input",
+    "exec": "exec() executes parsed input",
+}
+
+_BANNED_DUNDER_CALLS = {
+    "__setattr__": "__setattr__ bypasses the frozen-dataclass guarantee",
+    "__delattr__": "__delattr__ bypasses the frozen-dataclass guarantee",
+}
+
+_DICT_MUTATORS = ("update", "setdefault", "pop", "popitem", "clear")
+
+
+def _is_dict_proxy(node: ast.AST) -> bool:
+    """True for ``x.__dict__`` and for ``vars(...)`` / ``globals()`` calls."""
+    if isinstance(node, ast.Attribute) and node.attr == "__dict__":
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("vars", "globals")
+    return False
+
+
+class NoReflectionRule(Rule):
+    name = "no-reflection"
+    description = (
+        "no setattr/eval/__dict__ mutation in the artifact and submission "
+        "parsers: parsed input must never drive attribute writes"
+    )
+    targets = manifest.NO_REFLECTION_TARGETS
+
+    def __init__(self, targets=None) -> None:
+        if targets is not None:
+            self.targets = tuple(targets)
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> Optional[List[Finding]]:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _BANNED_CALLS:
+            return [self.finding(ctx, node, _BANNED_CALLS[func.id])]
+        if isinstance(func, ast.Attribute):
+            if func.attr in _BANNED_DUNDER_CALLS:
+                return [self.finding(ctx, node, _BANNED_DUNDER_CALLS[func.attr])]
+            if func.attr in _DICT_MUTATORS and _is_dict_proxy(func.value):
+                return [
+                    self.finding(
+                        ctx, node,
+                        f"__dict__.{func.attr}() mutates instance state behind "
+                        f"the frozen-header guarantee",
+                    )
+                ]
+        return None
+
+    def _check_targets(self, targets, ctx: FileContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for target in targets:
+            if isinstance(target, (ast.Tuple, ast.List)):
+                findings.extend(self._check_targets(target.elts, ctx))
+                continue
+            if isinstance(target, ast.Subscript) and _is_dict_proxy(target.value):
+                findings.append(
+                    self.finding(
+                        ctx, target,
+                        "subscript write through vars()/__dict__ is a "
+                        "setattr in disguise",
+                    )
+                )
+            elif isinstance(target, ast.Attribute) and target.attr == "__dict__":
+                findings.append(
+                    self.finding(
+                        ctx, target,
+                        "assigning to __dict__ replaces instance state wholesale",
+                    )
+                )
+        return findings
+
+    def visit_Assign(self, node: ast.Assign, ctx: FileContext):
+        return self._check_targets(node.targets, ctx) or None
+
+    def visit_AugAssign(self, node: ast.AugAssign, ctx: FileContext):
+        return self._check_targets([node.target], ctx) or None
+
+    def visit_AnnAssign(self, node: ast.AnnAssign, ctx: FileContext):
+        return self._check_targets([node.target], ctx) or None

@@ -179,6 +179,10 @@ def json_response(
     extra_headers: Optional[Dict[str, str]] = None,
 ) -> bytes:
     """An HTTP response with a JSON body."""
+    # reprolint: disable=canonical-json -- transient HTTP framing: the body
+    # is length-prefixed by Content-Length, never persisted, hashed or
+    # signed, and spec.py's helper would raise the artifact error domain
+    # at callers expecting ServiceError semantics.
     body = json.dumps(payload, sort_keys=True).encode("utf-8")
     return http_response(status, body, extra_headers=extra_headers)
 
@@ -306,6 +310,9 @@ def decode_frame(buffer: bytes) -> Optional[Tuple[int, bytes, int]]:
 def encode_text(payload: object, mask: bool = False) -> bytes:
     """A text frame carrying ``payload`` as JSON."""
     return encode_frame(
+        # reprolint: disable=canonical-json -- transient WebSocket framing:
+        # frames are length-prefixed on the wire and never persisted,
+        # hashed or signed, so canonical byte form buys nothing here.
         json.dumps(payload, sort_keys=True).encode("utf-8"), OP_TEXT, mask=mask
     )
 

@@ -44,7 +44,7 @@ from __future__ import annotations
 
 import asyncio
 import time
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Optional, Set
 
 from repro.experiments.cache import ResultCache
 from repro.experiments.sweep import (

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.cpu.trace import Trace
 from repro.dram.organization import DramOrganization, PAPER_ORGANIZATION

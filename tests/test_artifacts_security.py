@@ -20,7 +20,6 @@ from repro.artifacts import (
     ArtifactFormatError,
     ArtifactHeaderError,
     ArtifactIndexError,
-    ArtifactIntegrityError,
     ArtifactMarkerError,
     ArtifactReader,
     ArtifactSignatureError,
@@ -389,16 +388,26 @@ class TestSignatureStripping:
 class TestNoReflection:
     """The PFM post-mortem class: parsed input must never drive setattr."""
 
-    def test_no_setattr_in_any_artifacts_module(self):
-        import repro.artifacts
+    def test_no_reflection_rule_reports_zero_findings(self):
+        """The AST-based reprolint rule replaces the old regex source scan.
 
-        package = pathlib.Path(repro.artifacts.__file__).parent
-        sources = sorted(package.glob("*.py"))
-        assert sources, "artifacts package not found"
-        for source in sources:
-            text = source.read_text(encoding="utf-8")
-            assert "setattr(" not in text, f"setattr found in {source}"
-            assert "eval(" not in text, f"eval found in {source}"
+        The rule sees aliased calls, ``object.__setattr__`` and ``__dict__``
+        mutation that a ``"setattr(" in text`` scan misses, and does not
+        false-positive on mentions inside comments or docstrings.
+        """
+        from repro.lint import manifest
+        from repro.lint.framework import parse_project, run_rules
+        from repro.lint.rules import NoReflectionRule
+
+        repo_root = pathlib.Path(__file__).resolve().parent.parent
+        project, parse_errors = parse_project(
+            repo_root, manifest.NO_REFLECTION_TARGETS
+        )
+        assert project.files, "no-reflection target files not found"
+        result = run_rules(project, [NoReflectionRule()], parse_errors)
+        assert result.findings == [], "\n".join(
+            finding.render() for finding in result.findings
+        )
 
     @pytest.mark.parametrize("instance", [
         MagicHeader(format="repro-artifact", version=1),

@@ -1,6 +1,5 @@
 """Tests for the ``python -m repro attack`` CLI group."""
 
-import pytest
 
 from repro.cli import main
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.system.config import SystemConfig, appendix_e_system_config, paper_system_config
+from repro.system.config import appendix_e_system_config, paper_system_config
 
 
 class TestSystemConfig:

@@ -5,7 +5,7 @@ from typing import List
 import pytest
 
 from repro.core.mitigation import OnDieMitigation
-from repro.dram.bank import BankState, TimingViolation
+from repro.dram.bank import TimingViolation
 from repro.dram.device import DramDevice
 from repro.dram.organization import DramOrganization
 from repro.dram.timing import ddr5_3200an

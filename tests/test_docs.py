@@ -79,6 +79,30 @@ class TestEntryDocuments:
         assert "docs/ARTIFACTS.md" in readme
         assert "artifact verify" in readme
 
+    def test_linting_doc_covers_the_contracts(self):
+        linting = (REPO_ROOT / "docs" / "LINTING.md").read_text(
+            encoding="utf-8"
+        )
+        for needle in (
+            "python -m repro lint", "tools/reprolint.py",
+            "no-reflection", "hot-path-alloc", "determinism",
+            "canonical-json", "cache-key-completeness",
+            "event-source-registry", "bad-suppression",
+            "reprolint: disable=", "--write-baseline",
+            "tools/reprolint_baseline.json", "ruff",
+        ):
+            assert needle in linting, f"LINTING.md is missing {needle!r}"
+
+    def test_readme_and_architecture_mention_linting(self):
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        assert "docs/LINTING.md" in readme
+        assert "python -m repro lint" in readme
+        architecture = (REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text(
+            encoding="utf-8"
+        )
+        assert "LINTING.md" in architecture
+        assert "event-source-registry" in architecture
+
     def test_service_doc_covers_authentication(self):
         service = (REPO_ROOT / "docs" / "SERVICE.md").read_text(encoding="utf-8")
         for needle in (

@@ -11,7 +11,6 @@ import json
 import os
 from concurrent.futures import ProcessPoolExecutor
 
-import pytest
 
 from repro.experiments.cache import (
     CACHE_SCHEMA_VERSION,

@@ -12,7 +12,6 @@ from repro.system.config import appendix_e_system_config, paper_system_config
 from repro.attacks.patterns import performance_attack_trace
 from repro.system.simulator import SystemSimulator, simulate
 from repro.workloads.mixes import build_mix_traces
-from repro.workloads.synthetic import generate_trace
 
 
 ACCESSES = 300

@@ -4,7 +4,6 @@ import pytest
 
 from repro.dram.timing import (
     DDR5_3200_TCK_NS,
-    TimingParams,
     ddr5_3200an,
     ns_to_cycles,
     timing_table_rows,

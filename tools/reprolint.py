@@ -1,0 +1,22 @@
+#!/usr/bin/env python3
+"""CI entry point for reprolint, the project-aware static checker.
+
+Thin wrapper over :mod:`repro.lint.cli` that works without an installed
+package (it prepends ``src/`` to ``sys.path``), so CI can run it before --
+or instead of -- ``pip install -e .``:
+
+    python tools/reprolint.py --format json
+
+See docs/LINTING.md for the rule catalogue and the baseline workflow.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.lint.cli import main  # noqa: E402  (sys.path bootstrap above)
+
+if __name__ == "__main__":
+    sys.exit(main())
