@@ -105,40 +105,47 @@ def results_digest(results) -> str:
 
 
 def run_cold_sweep(
-    spec: SweepSpec, workers: int, batch: bool = False, repeats: int = 1
+    spec: SweepSpec, workers: int, batch: bool = False
 ) -> Dict[str, object]:
-    """Execute ``spec`` from a cold cache; minimum wall-clock over repeats.
+    """Execute ``spec`` once from a cold cache and time it.
 
-    Each repeat uses a fresh cold cache (the point is execution speed, not
-    cache hits); the per-mode minimum is the standard noise-floor estimate
-    for a deterministic workload on a jittery shared machine.
+    Each pass uses a fresh cold cache (the point is execution speed, not
+    cache hits).  Callers repeat this and keep the per-mode minimum -- see
+    ``main``, which *interleaves* the modes round-robin so that the slow
+    frequency drift of a shared-host runner lands on every mode equally
+    instead of flattering whichever mode ran during a fast window.
     """
-    best: Optional[Dict[str, object]] = None
-    for _ in range(max(1, repeats)):
-        with tempfile.TemporaryDirectory(prefix="bench-batch-") as tmp:
-            engine = SweepEngine(
-                cache=ResultCache(os.path.join(tmp, "cache")),
-                workers=workers,
-                batch=batch,
-            )
-            try:
-                start = time.perf_counter()
-                results = engine.run(spec)
-                elapsed = time.perf_counter() - start
-                cold_report = engine.last_run_report
-                # Warm re-run: everything must come from the cache.
-                engine.run(spec)
-                warm_executed = engine.last_run_report.executed_jobs
-            finally:
-                engine.close()
-        if best is None or elapsed < best["seconds"]:
-            best = {
-                "jobs": len(results),
-                "seconds": elapsed,
-                "warm_executed": warm_executed,
-                "shards": len(cold_report.shards),
-                "digest": results_digest(results),
-            }
+    with tempfile.TemporaryDirectory(prefix="bench-batch-") as tmp:
+        engine = SweepEngine(
+            cache=ResultCache(os.path.join(tmp, "cache")),
+            workers=workers,
+            batch=batch,
+        )
+        try:
+            start = time.perf_counter()
+            results = engine.run(spec)
+            elapsed = time.perf_counter() - start
+            cold_report = engine.last_run_report
+            # Warm re-run: everything must come from the cache.
+            engine.run(spec)
+            warm_executed = engine.last_run_report.executed_jobs
+        finally:
+            engine.close()
+    return {
+        "jobs": len(results),
+        "seconds": elapsed,
+        "warm_executed": warm_executed,
+        "shards": len(cold_report.shards),
+        "digest": results_digest(results),
+    }
+
+
+def _keep_best(
+    best: Optional[Dict[str, object]], new: Dict[str, object]
+) -> Dict[str, object]:
+    """The per-mode minimum over interleaved rounds."""
+    if best is None or new["seconds"] < best["seconds"]:
+        return new
     return best
 
 
@@ -179,7 +186,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--repeats", type=int, default=1, metavar="N",
-        help="cold-sweep passes per mode; the minimum is recorded (default 1)",
+        help="interleaved cold-sweep rounds (serial/batch/pool per round); "
+             "the per-mode minimum is recorded (default 1)",
     )
     parser.add_argument(
         "--min-batch-speedup", type=float, default=None, metavar="X",
@@ -197,23 +205,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     label = "quick" if args.quick else "full"
     jobs = len(spec.expand())
 
-    print(f"cold sweep ({label}): {jobs} jobs, serial...")
-    serial = run_cold_sweep(spec, workers=0, repeats=args.repeats)
+    repeats = max(1, args.repeats)
+    rounds = "round" if repeats == 1 else "interleaved rounds"
+    print(f"cold sweep ({label}): {jobs} jobs, {repeats} {rounds}...")
+    serial: Optional[Dict[str, object]] = None
+    batch: Optional[Dict[str, object]] = None
+    pool: Optional[Dict[str, object]] = None
+    for _ in range(repeats):
+        serial = _keep_best(serial, run_cold_sweep(spec, workers=0))
+        batch = _keep_best(batch, run_cold_sweep(spec, workers=0, batch=True))
+        if not args.no_pool:
+            pool = _keep_best(pool, run_cold_sweep(spec, workers=args.workers))
+    assert serial is not None and batch is not None
     print(f"  serial: {serial['seconds']:6.2f}s ({serial['jobs']} jobs)")
-
-    print(f"cold sweep ({label}): batch mode...")
-    batch = run_cold_sweep(spec, workers=0, batch=True, repeats=args.repeats)
     batch_speedup = serial["seconds"] / batch["seconds"]
     print(
         f"  batch:  {batch['seconds']:6.2f}s ({batch_speedup:.2f}x vs "
         f"serial, {batch['shards']} batch group(s))"
     )
 
-    pool = None
     pool_speedup = None
-    if not args.no_pool:
-        print(f"cold sweep ({label}): {args.workers}-worker pool...")
-        pool = run_cold_sweep(spec, workers=args.workers, repeats=args.repeats)
+    if pool is not None:
         pool_speedup = serial["seconds"] / pool["seconds"]
         print(
             f"  pool:   {pool['seconds']:6.2f}s ({pool_speedup:.2f}x vs "
@@ -281,7 +293,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             "note": (
                 "single-process numbers; on a 1-CPU machine the pool "
                 "speedup is honestly <= 1.0x and batch mode is the only "
-                "way to beat serial"
+                "way to beat serial.  Since the structure-of-arrays bank "
+                "timing plane became the default backend, serial runs the "
+                "same vectorized kernels as batch, so the full-sweep ratio "
+                "compressed to the shareable-setup fraction; the quick "
+                "sweep, where shared precomputation dominates, still shows "
+                "the batch engine's full advantage."
             ),
         }
         bench["recorded_on"] = platform.platform()

@@ -4,7 +4,11 @@
 Times the *reference workload set* -- a fixed two-core mix under all twelve
 mechanisms on one and two memory channels -- end to end on the live
 simulator (no result cache: this measures the engine, not the cache), and
-maintains ``BENCH_hotpath.json``:
+maintains ``BENCH_hotpath.json``.  Each workload is timed ``BENCH_REPEATS``
+times back to back and the minimum is reported: wall-clock noise on a
+shared-host runner is strictly additive, so the min estimates the code's
+true cost (single passes on this class of machine jitter by +-20%).
+The JSON carries:
 
 * ``fingerprints`` -- pinned golden metrics (cycles / IPCs / energy / REF
   and RFM counts) per workload.  Every run re-checks them, so a perf change
@@ -12,7 +16,12 @@ maintains ``BENCH_hotpath.json``:
   results may not).
 * ``reference`` -- the committed quick-set wall-clock this machine class is
   compared against; CI fails when the quick set regresses by more than
-  ``--tolerance`` (default 30%, env ``REPRO_BENCH_TOLERANCE``).
+  ``--tolerance`` (default 30%, env ``REPRO_BENCH_TOLERANCE``).  Since the
+  structure-of-arrays timing plane landed, the reference also records
+  ``readiness_scan`` -- the exclusive profile time the controller spends in
+  its readiness-scan kernel family (demand-scan entry, vector fold, hint
+  maintenance) on one profiled workload, so the cost the SoA plane attacks
+  stays measured, not assumed.
 * ``seed_engine`` -- the recorded wall-clock of the pre-event-horizon seed
   engine on the same workload set (measured once while both engines existed
   in the tree), giving the speedup trajectory its anchor: the event-horizon
@@ -30,9 +39,11 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import cProfile
 import json
 import os
 import platform
+import pstats
 import sys
 import time
 from typing import Dict, List, Optional, Tuple
@@ -60,6 +71,65 @@ QUICK_WORKLOADS: Tuple[Tuple[str, int], ...] = (
     ("PRFM", 1),
     ("PRAC-4", 2),
 )
+
+
+#: Timed repetitions per workload; the *minimum* is recorded.  Wall-clock
+#: noise on a shared-host runner is strictly additive (frequency jitter,
+#: host contention), so the min over a few back-to-back runs estimates the
+#: true cost of the code far better than any single pass -- the standard
+#: pyperf-style estimator.  Env-overridable for debugging single passes.
+BENCH_REPEATS = max(1, int(os.environ.get("REPRO_BENCH_REPEATS", "3")))
+
+#: The workload profiled for the readiness-scan kernel measurement (a PRAC
+#: run: it exercises the demand scan, the back-off path and the hint folds).
+READINESS_PROFILE_WORKLOAD: Tuple[str, int] = ("PRAC-4", 1)
+
+#: Function names of the controller's readiness-scan kernel family, both
+#: backends (matched by bare function name within controller.py).
+READINESS_KERNELS = frozenset(
+    {
+        "_demand_ready_cycle",
+        "_demand_ready_cycle_array",
+        "_demand_ready_cycle_vector",
+        "_bank_demand_ready",
+        "_bank_demand_ready_array",
+        "_fold_bank_hint",
+        "_fold_bank_hint_array",
+        "_fold_stream",
+    }
+)
+
+
+def measure_readiness_scan() -> Dict[str, object]:
+    """Exclusive profile time of the readiness-scan kernels on one workload.
+
+    Returns the summed ``tottime`` of the kernel family, the total profiled
+    time and their ratio.  cProfile inflates per-call overhead, so the
+    numbers are comparable only against other entries of this field -- the
+    point is the trajectory (is the scan share shrinking?), not an absolute
+    wall-clock claim.
+    """
+    mechanism, channels = READINESS_PROFILE_WORKLOAD
+    base = paper_system_config().with_overrides(channels=channels)
+    job = mechanism_job(base, APPS, mechanism, NRH, ACCESSES)
+    traces = build_job_traces(job)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    simulate(job.config, traces, workload_name=job.workload_name)
+    profiler.disable()
+    stats = pstats.Stats(profiler).stats  # type: ignore[attr-defined]
+    kernel_seconds = 0.0
+    total_seconds = 0.0
+    for (filename, _line, name), (_cc, _nc, tottime, _ct, _callers) in stats.items():
+        total_seconds += tottime
+        if name in READINESS_KERNELS and filename.endswith("controller.py"):
+            kernel_seconds += tottime
+    return {
+        "workload": workload_key(mechanism, channels),
+        "seconds": round(kernel_seconds, 4),
+        "profiled_seconds": round(total_seconds, 4),
+        "share": round(kernel_seconds / total_seconds, 4) if total_seconds else 0.0,
+    }
 
 
 def reference_workloads(quick: bool) -> List[Tuple[str, int]]:
@@ -91,15 +161,35 @@ def fingerprint(result) -> Dict[str, object]:
 def run_workload(
     mechanism: str, channels: int, strict_tick: bool = False
 ) -> Tuple[float, Dict[str, object]]:
+    """Time one workload ``BENCH_REPEATS`` times; return (min seconds, fp).
+
+    The repeats double as a determinism check: every pass must produce the
+    same fingerprint, or the measurement is meaningless.
+    """
     base = paper_system_config().with_overrides(channels=channels)
     job = mechanism_job(base, APPS, mechanism, NRH, ACCESSES)
     traces = build_job_traces(job)
-    start = time.perf_counter()
-    result = simulate(
-        job.config, traces, workload_name=job.workload_name, strict_tick=strict_tick
-    )
-    elapsed = time.perf_counter() - start
-    return elapsed, fingerprint(result)
+    best = float("inf")
+    fp: Optional[Dict[str, object]] = None
+    for _ in range(BENCH_REPEATS):
+        start = time.perf_counter()
+        result = simulate(
+            job.config, traces, workload_name=job.workload_name,
+            strict_tick=strict_tick,
+        )
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+        current = fingerprint(result)
+        if fp is None:
+            fp = current
+        elif fp != current:
+            raise AssertionError(
+                f"{workload_key(mechanism, channels)}: fingerprint moved "
+                f"between repeats: {fp} != {current}"
+            )
+    assert fp is not None
+    return best, fp
 
 
 def run_set(quick: bool) -> Tuple[Dict[str, float], Dict[str, Dict[str, object]]]:
@@ -169,7 +259,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     bench = load_bench()
     label = "quick set" if args.quick else "full reference set"
-    print(f"Timing {label} ({ACCESSES} accesses/core, N_RH={NRH}, {'+'.join(APPS)}):")
+    print(
+        f"Timing {label} ({ACCESSES} accesses/core, N_RH={NRH}, "
+        f"{'+'.join(APPS)}, min of {BENCH_REPEATS}):"
+    )
     seconds, fingerprints = run_set(args.quick)
     total = sum(seconds.values())
     quick_total = sum(seconds[workload_key(m, c)] for m, c in QUICK_WORKLOADS
@@ -197,10 +290,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
 
     if args.update:
+        print("profiling the readiness-scan kernel family...")
+        readiness = measure_readiness_scan()
+        print(
+            f"  readiness scan ({readiness['workload']}): "
+            f"{readiness['seconds']:.3f}s of {readiness['profiled_seconds']:.3f}s "
+            f"profiled ({readiness['share']:.1%})"
+        )
         bench.setdefault("fingerprints", {}).update(fingerprints)
         bench["reference"] = {
             "quick_seconds": quick_total,
             "workloads": {k: seconds[k] for k in seconds},
+            "readiness_scan": readiness,
+            "repeats": BENCH_REPEATS,
             "recorded_on": platform.platform(),
             "python": platform.python_version(),
             "recorded_at": time.strftime("%Y-%m-%d"),
@@ -210,6 +312,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "date": time.strftime("%Y-%m-%d"),
                 "quick_seconds": round(quick_total, 3),
                 "total_seconds": round(total, 3) if not args.quick else None,
+                "repeats": BENCH_REPEATS,
                 "python": platform.python_version(),
             }
         )

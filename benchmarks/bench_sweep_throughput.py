@@ -275,7 +275,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                     failures.append(
                         f"single-CPU batch cold sweep only "
                         f"{batch_speedup:.2f}x faster than serial (floor "
-                        f"{MIN_BATCH_SPEEDUP_1CPU:.2f}x)"
+                        f"{MIN_BATCH_SPEEDUP_1CPU:.2f}x; measured serial "
+                        f"{serial_best:.2f}s vs batch {batch['seconds']:.2f}s "
+                        f"over {serial['jobs']} jobs)"
                     )
                 else:
                     print(

@@ -20,10 +20,13 @@ from collections import Counter, deque
 from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.mitigation import OnDieMitigation
 from repro.dram.bank import Bank, BankState, TimingViolation
 from repro.dram.organization import DramOrganization
 from repro.dram.timing import TimingParams
+from repro.dram.timing_plane import BankArrayTiming, resolve_bank_backend
 
 
 @dataclass(slots=True)
@@ -46,6 +49,8 @@ class DramDevice:
         organization: DramOrganization,
         timing: TimingParams,
         mitigation: Optional[OnDieMitigation] = None,
+        bank_backend: Optional[str] = None,
+        timing_plane: Optional[BankArrayTiming] = None,
     ) -> None:
         if mitigation is not None and mitigation.side != "dram":
             raise ValueError(
@@ -54,9 +59,35 @@ class DramDevice:
         self.organization = organization
         self.timing = timing
         self.mitigation = mitigation
-        self.banks: List[Bank] = [
-            Bank(bank_id, timing) for bank_id in range(organization.total_banks)
-        ]
+        # Bank timing backend (see dram/timing_plane.py).  Passing a
+        # pre-allocated plane (the batch engine pools them like counter
+        # buffers) implies the array backend; the plane is reset here so a
+        # pooled buffer's history can never leak into a new device.
+        if timing_plane is not None:
+            if timing_plane.num_banks != organization.total_banks:
+                raise ValueError(
+                    f"timing plane has {timing_plane.num_banks} banks, "
+                    f"organization needs {organization.total_banks}"
+                )
+            timing_plane.reset()
+            self.bank_backend = "array"
+        else:
+            self.bank_backend = resolve_bank_backend(bank_backend)
+            if self.bank_backend == "array":
+                timing_plane = BankArrayTiming(organization.total_banks)
+        #: The structure-of-arrays timing registers (None = object backend).
+        #: The controller's vectorized kernels key off this attribute.
+        self.timing_plane = timing_plane
+        if timing_plane is not None:
+            self.banks: List[Bank] = [
+                Bank(bank_id, timing, plane=timing_plane, index=bank_id)
+                for bank_id in range(organization.total_banks)
+            ]
+        else:
+            self.banks = [
+                Bank(bank_id, timing, backend="object")
+                for bank_id in range(organization.total_banks)
+            ]
         self._ranks: Dict[int, RankState] = {
             rank: RankState() for rank in range(organization.ranks)
         }
@@ -66,6 +97,12 @@ class DramDevice:
         per_rank = organization.banks_per_rank
         self._rank_bank_ids: List[Tuple[int, ...]] = [
             tuple(range(rank * per_rank, (rank + 1) * per_rank))
+            for rank in range(organization.ranks)
+        ]
+        # Per-rank contiguous slices into the plane arrays (flat bank ids of
+        # a rank are consecutive), for the vectorized REF/RFM predicates.
+        self._rank_slices: List[slice] = [
+            slice(rank * per_rank, (rank + 1) * per_rank)
             for rank in range(organization.ranks)
         ]
         #: Command counts, keyed by command mnemonic, for the energy model.
@@ -167,6 +204,17 @@ class DramDevice:
 
     def can_refresh(self, rank: int, cycle: int) -> bool:
         """True if every bank in ``rank`` is precharged and ACT-ready."""
+        plane = self.timing_plane
+        if plane is not None:
+            # Early-exit scalar walk over the plane slots: the predicate
+            # almost always fails on the first open or busy bank, which an
+            # ndarray reduction cannot short-circuit on.
+            open_row = plane.open_row_mv
+            next_act = plane.next_act_mv
+            for bank_id in self._rank_bank_ids[rank]:
+                if open_row[bank_id] >= 0 or cycle < next_act[bank_id]:
+                    return False
+            return True
         banks = self.banks
         # Direct state/ready access: this predicate runs every controller
         # tick while a refresh is owed, so the per-bank method calls of the
@@ -179,6 +227,19 @@ class DramDevice:
 
     def can_rfm(self, bank_ids: Sequence[int], cycle: int) -> bool:
         """True if all target banks are precharged and ready for maintenance."""
+        plane = self.timing_plane
+        if plane is not None:
+            if len(bank_ids) == plane.num_banks:
+                # All-bank RFM (back-off recovery): whole-plane reductions.
+                return bool(
+                    plane.open_row.max() < 0 and plane.next_act.max() <= cycle
+                )
+            open_row = plane.open_row_mv
+            next_act = plane.next_act_mv
+            for bank_id in bank_ids:
+                if open_row[bank_id] >= 0 or cycle < next_act[bank_id]:
+                    return False
+            return True
         banks = self.banks
         for bank_id in bank_ids:
             bank = banks[bank_id]
@@ -233,8 +294,15 @@ class DramDevice:
         bank_ids = self.banks_in_rank(rank)
         if not self.can_refresh(rank, cycle):
             raise TimingViolation(f"rank {rank}: REF at cycle {cycle} illegal")
-        for bank_id in bank_ids:
-            self.banks[bank_id].block(cycle, self.timing.tRFC)
+        plane = self.timing_plane
+        if plane is not None:
+            # can_refresh above proved every bank idle: the per-bank block()
+            # calls collapse to one vectorized max over the rank slice.
+            target = plane.next_act[self._rank_slices[rank]]
+            np.maximum(target, cycle + self.timing.tRFC, out=target)
+        else:
+            for bank_id in bank_ids:
+                self.banks[bank_id].block(cycle, self.timing.tRFC)
         self.command_counts["REF"] += 1
         if self.mitigation is not None:
             self.mitigation.on_periodic_refresh(bank_ids, cycle)
@@ -247,8 +315,13 @@ class DramDevice:
         """
         if not self.can_rfm(bank_ids, cycle):
             raise TimingViolation(f"RFM at cycle {cycle} illegal for banks {bank_ids}")
-        for bank_id in bank_ids:
-            self.banks[bank_id].block(cycle, self.timing.tRFM)
+        plane = self.timing_plane
+        if plane is not None and len(bank_ids) == plane.num_banks:
+            # All-bank RFM, all banks proven idle: one vectorized max.
+            np.maximum(plane.next_act, cycle + self.timing.tRFM, out=plane.next_act)
+        else:
+            for bank_id in bank_ids:
+                self.banks[bank_id].block(cycle, self.timing.tRFM)
         self.command_counts["RFM"] += 1
         refreshed = 0
         if self.mitigation is not None:

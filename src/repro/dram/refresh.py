@@ -56,6 +56,8 @@ class RefreshScheduler:
         self._next_accrual = timing.tREFI
         #: Cached ranks-with-pending tuple (None = needs rebuild).
         self._pending_ranks: Tuple[int, ...] = ()
+        #: Cached exhausted-postpone-budget tuple (None = needs rebuild).
+        self._urgent_ranks: Tuple[int, ...] = ()
 
     def tick(self, cycle: int) -> None:
         """Accrue newly due refreshes up to ``cycle`` (O(1) off-boundary)."""
@@ -75,6 +77,7 @@ class RefreshScheduler:
                 next_accrual = due
         self._next_accrual = next_accrual
         self._pending_ranks = None  # type: ignore[assignment]
+        self._urgent_ranks = None  # type: ignore[assignment]
 
     def next_due_cycle(self) -> int:
         """Earliest upcoming tREFI boundary across all ranks.
@@ -108,6 +111,23 @@ class RefreshScheduler:
             )
         return self._pending_ranks
 
+    def urgent_ranks(self) -> Tuple[int, ...]:
+        """Ranks whose postpone budget is exhausted (cached tuple).
+
+        The urgent set only changes on accrual (``tick``) or issue
+        (``refresh_issued``), so the array-backend controller kernels can
+        probe it as a shared tuple -- almost always empty -- instead of
+        re-deriving per-rank pending counts on every ACT-candidate serve.
+        Callers must not mutate the returned tuple.
+        """
+        if self._urgent_ranks is None:
+            self._urgent_ranks = tuple(
+                rank
+                for rank, state in self._ranks.items()
+                if state.pending >= self.MAX_POSTPONED
+            )
+        return self._urgent_ranks
+
     def refresh_issued(self, rank: int) -> None:
         """Record that a REF command was issued to ``rank``."""
         state = self._ranks[rank]
@@ -115,6 +135,9 @@ class RefreshScheduler:
             raise RuntimeError(f"rank {rank} has no pending refresh to issue")
         state.pending -= 1
         state.issued += 1
+        # Issuing can drop the rank below MAX_POSTPONED (and to zero), so
+        # both cached tuples may be stale now.
+        self._urgent_ranks = None  # type: ignore[assignment]
         if state.pending == 0:
             self._pending_ranks = None  # type: ignore[assignment]
 

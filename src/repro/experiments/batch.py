@@ -18,9 +18,11 @@ this module attacks it in-process instead:
   line through the address mapping's shift/mask plan (feeding the router's
   decode table), and per-bank maximum-row extents that pre-size the
   mitigation counter arrays.
-* **Pooled buffers**: one LLC instance and one set of per-bank counter
-  arrays per group, recycled between configs (``Cache.reset`` and
-  ``release_count_buffers`` restore the pristine state; capacity is
+* **Pooled buffers**: one LLC instance, one set of per-bank counter arrays
+  and -- under the array bank backend -- one set of per-channel
+  :class:`~repro.dram.timing_plane.BankArrayTiming` planes per group,
+  recycled between configs (``Cache.reset``, ``release_count_buffers`` and
+  the device's plane reset restore the pristine state; capacity is
   unobservable, so pooling is byte-identical to fresh allocation).
 * **Gated fast kernels**: each simulator in a batch runs with
   ``fast_kernels=True`` (see
@@ -48,6 +50,7 @@ from repro.controller.address_mapping import mapping_by_name
 from repro.core.counters import PerRowCounters
 from repro.cpu.cache import Cache
 from repro.dram.organization import DramAddress
+from repro.dram.timing_plane import BankArrayTiming, resolve_bank_backend
 from repro.experiments.sweep import SimJob, build_job_traces
 from repro.system.metrics import SimulationResult
 from repro.system.simulator import SystemSimulator
@@ -98,8 +101,10 @@ class TracePlan:
     decode_cache: Dict[int, tuple]
     counter_sizes: List[List[int]]
     llc_geometry: Tuple[int, int, int]
+    plane_banks: int = 0
     _llc_pool: List[Cache] = field(default_factory=list)
     _count_pools: List[List[List[List[int]]]] = field(default_factory=list)
+    _plane_pool: List[List[BankArrayTiming]] = field(default_factory=list)
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -204,6 +209,7 @@ class TracePlan:
                 config.llc_associativity,
                 config.llc_line_size,
             ),
+            plane_banks=organization.total_banks,
             _count_pools=[[] for _ in range(organization.channels)],
         )
 
@@ -224,6 +230,23 @@ class TracePlan:
     def release_llc(self, llc: Cache) -> None:
         llc.reset()
         self._llc_pool.append(llc)
+
+    def acquire_planes(self, channels: int) -> List[BankArrayTiming]:
+        """Per-channel timing planes, pooled across the group's configs.
+
+        The planes are handed to :class:`~repro.system.simulator
+        .SystemSimulator` pre-sized; :class:`~repro.dram.device.DramDevice`
+        resets each one on adoption, so recycled register state can never
+        leak between configs.
+        """
+        if self._plane_pool:
+            planes = self._plane_pool.pop()
+            if len(planes) == channels:
+                return planes
+        return [BankArrayTiming(self.plane_banks) for _ in range(channels)]
+
+    def release_planes(self, planes: List[BankArrayTiming]) -> None:
+        self._plane_pool.append(planes)
 
     def acquire_counts(self, channel: int) -> List[List[int]]:
         """All-zero per-bank count arrays sized to the group's row extents."""
@@ -246,6 +269,12 @@ def execute_job_with_plan(job: SimJob, plan: TracePlan) -> SimulationResult:
             num_channels=job.config.organization.channels,
         )
     llc = plan.acquire_llc()
+    # Pooled timing planes only make sense for the array bank backend; when
+    # the environment pins the object backend (the CI differential leg),
+    # the simulator builds object banks exactly like the scalar engine.
+    planes = None
+    if resolve_bank_backend(None) == "array":
+        planes = plan.acquire_planes(job.config.organization.channels)
     sim = SystemSimulator(
         job.config,
         plan.traces,
@@ -255,6 +284,7 @@ def execute_job_with_plan(job: SimJob, plan: TracePlan) -> SimulationResult:
         decode_cache=plan.decode_cache,
         core_trace_data=plan.core_trace_data,
         fast_kernels=True,
+        timing_planes=planes,
     )
     # Pre-size the array-backed per-row counter stores from the decoded row
     # extents and recycle their arrays across the group's configs.  The
@@ -273,6 +303,8 @@ def execute_job_with_plan(job: SimJob, plan: TracePlan) -> SimulationResult:
         for channel, store in adopted:
             plan.release_counts(channel, store.release_count_buffers())
         plan.release_llc(llc)
+        if planes is not None:
+            plan.release_planes(planes)
     return result
 
 

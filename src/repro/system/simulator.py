@@ -38,6 +38,7 @@ from repro.cpu.core import Core
 from repro.cpu.trace import Trace
 from repro.dram.device import DramDevice
 from repro.dram.timing import ddr5_3200an
+from repro.dram.timing_plane import BankArrayTiming
 from repro.energy.drampower import DEFAULT_ENERGY_MODEL, EnergyModel
 from repro.system.config import SystemConfig
 from repro.system.metrics import (
@@ -68,6 +69,7 @@ class SystemSimulator:
         decode_cache: Optional[Dict[int, tuple]] = None,
         core_trace_data: Optional[Sequence[tuple]] = None,
         fast_kernels: bool = False,
+        timing_planes: Optional[Sequence["BankArrayTiming"]] = None,
     ) -> None:
         if len(traces) != config.num_cores:
             raise ValueError(
@@ -123,9 +125,24 @@ class SystemSimulator:
                 config.legacy_prac_timings and self.setup.use_prac_timings
             ),
         )
+        # Batch-mode hook: pre-allocated per-channel timing planes (pooled
+        # like counter buffers).  Passing a plane implies the array backend;
+        # DramDevice resets it, so pooled history can never leak in.
+        if timing_planes is not None and len(timing_planes) != self.num_channels:
+            raise ValueError(
+                f"expected {self.num_channels} timing planes, "
+                f"got {len(timing_planes)}"
+            )
         self.devices: List[DramDevice] = [
-            DramDevice(organization, timing, mitigation=setup.on_die)
-            for setup in self.setups
+            DramDevice(
+                organization,
+                timing,
+                mitigation=setup.on_die,
+                timing_plane=(
+                    timing_planes[channel] if timing_planes is not None else None
+                ),
+            )
+            for channel, setup in enumerate(self.setups)
         ]
         mapping = mapping_by_name(config.address_mapping, organization)
         self.controllers: List[MemoryController] = [

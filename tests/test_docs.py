@@ -118,6 +118,28 @@ class TestEntryDocuments:
         assert "--artifact" in experiments
         assert "ARTIFACTS.md" in experiments
 
+    def test_architecture_doc_covers_bank_timing_plane(self):
+        architecture = (REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text(
+            encoding="utf-8"
+        )
+        for needle in (
+            "Structure-of-arrays bank timing", "BankArrayTiming",
+            "REPRO_BANK_BACKEND", "memoryview", "TimingViolation",
+            "tests/test_bank_backends.py", "acquire_planes",
+            "_demand_ready_cycle_vector",
+        ):
+            assert needle in architecture, f"ARCHITECTURE.md is missing {needle!r}"
+
+    def test_experiments_doc_covers_bank_backend_and_readiness_scan(self):
+        experiments = (REPO_ROOT / "docs" / "EXPERIMENTS.md").read_text(
+            encoding="utf-8"
+        )
+        for needle in (
+            "REPRO_BANK_BACKEND", "readiness_scan",
+            "structure-of-arrays-bank-timing",
+        ):
+            assert needle in experiments, f"EXPERIMENTS.md is missing {needle!r}"
+
     def test_experiment_and_attack_docs_mention_channels_knob(self):
         experiments = (REPO_ROOT / "docs" / "EXPERIMENTS.md").read_text(
             encoding="utf-8"

@@ -767,10 +767,38 @@ def write_tree(root, files):
 
 
 CLEAN_TREE = {
+    # The committed manifest registers _ArrayBank's per-command path in
+    # this file, so the clean fixture must define every registered
+    # qualname (else the stale-entry detection fires, by design).
     "src/repro/dram/bank.py": """\
         class Bank:
             def __init__(self):
                 self.open_row = None
+
+        class _ArrayBank:
+            def activate(self, row, cycle):
+                return cycle
+
+            def precharge(self, cycle):
+                return cycle
+
+            def read(self, cycle):
+                return cycle
+
+            def write(self, cycle):
+                return cycle
+
+            def can_activate(self, cycle):
+                return True
+
+            def can_precharge(self, cycle):
+                return True
+
+            def can_read(self, cycle):
+                return True
+
+            def can_write(self, cycle):
+                return True
         """,
 }
 

@@ -1,5 +1,6 @@
 """Smoke tests for the cProfile entry point (tools/profile_run.py)."""
 
+import json
 import os
 import subprocess
 import sys
@@ -45,6 +46,37 @@ def test_cli_prints_top_hotspots():
     assert "profiling PRAC-4" in result.stdout
     assert "cumulative" in result.stdout  # the pstats sort header
     assert "simulated" in result.stdout
+
+
+def test_cli_json_summary():
+    """`--json` emits a machine-readable top-N summary and nothing else."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + os.pathsep + REPO_ROOT
+    result = subprocess.run(
+        [
+            sys.executable, "-m", "tools.profile_run",
+            "--mechanism", "none", "--accesses", "120",
+            "--json", "--sort", "tottime", "--top", "7",
+        ],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env=env,
+    )
+    assert result.returncode == 0, result.stderr
+    summary = json.loads(result.stdout)  # pure JSON: no banner, no table
+    assert summary["mechanism"] == "None"
+    assert summary["sort"] == "tottime"
+    assert summary["cycles"] > 0 and summary["reads_served"] > 0
+    top = summary["top"]
+    assert 0 < len(top) <= 7
+    for row in top:
+        assert set(row) == {
+            "function", "ncalls", "primitive_calls", "tottime", "cumtime"
+        }
+    # Honours the sort key: rows arrive in descending self-time order.
+    tottimes = [row["tottime"] for row in top]
+    assert tottimes == sorted(tottimes, reverse=True)
 
 
 def test_cli_rejects_unknown_mechanism():

@@ -8,6 +8,7 @@ hot spots, so "where does the time go?" has a one-command answer::
     PYTHONPATH=src python -m tools.profile_run --mechanism prac --channels 2
     PYTHONPATH=src python -m tools.profile_run --mechanism graphene --sort tottime
     PYTHONPATH=src python -m tools.profile_run --mechanism none --out prof.pstats
+    PYTHONPATH=src python -m tools.profile_run --json --top 10 > hotspots.json
 
 Mechanism names are matched case-insensitively against the factory registry
 (``prac`` resolves to ``PRAC-4``); the workload is the bench_hotpath
@@ -18,10 +19,11 @@ from __future__ import annotations
 
 import argparse
 import cProfile
+import json
 import os
 import pstats
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
@@ -54,6 +56,27 @@ def resolve_mechanism(name: str) -> str:
     raise ValueError(
         f"unknown mechanism {name!r}; expected one of {', '.join(MECHANISM_NAMES)}"
     )
+
+
+def top_functions(
+    stats: pstats.Stats, sort: str, top: int
+) -> List[Dict[str, object]]:
+    """The top-``top`` profile rows as plain records (the ``--json`` view)."""
+    rows = []
+    for (filename, line, name), record in stats.stats.items():  # type: ignore[attr-defined]
+        cc, nc, tt, ct = record[0], record[1], record[2], record[3]
+        rows.append(
+            {
+                "function": f"{os.path.basename(filename)}:{line}({name})",
+                "ncalls": nc,
+                "primitive_calls": cc,
+                "tottime": round(tt, 6),
+                "cumtime": round(ct, 6),
+            }
+        )
+    key = {"cumulative": "cumtime", "tottime": "tottime", "calls": "ncalls"}[sort]
+    rows.sort(key=lambda row: row[key], reverse=True)
+    return rows[:top]
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -94,6 +117,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--out", default=None, metavar="PATH",
         help="also dump the raw pstats data for snakeviz/pstats browsing",
     )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit a machine-readable top-N summary (honours --sort/--top) "
+             "instead of the pstats text report",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -105,10 +133,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
     traces = build_job_traces(job)
 
-    print(
-        f"profiling {mechanism} @ N_RH={args.nrh}, {args.channels} channel(s), "
-        f"{args.accesses} accesses/core ({'+'.join(APPS)})"
-    )
+    if not args.json:
+        print(
+            f"profiling {mechanism} @ N_RH={args.nrh}, {args.channels} "
+            f"channel(s), {args.accesses} accesses/core ({'+'.join(APPS)})"
+        )
     profiler = cProfile.Profile()
     profiler.enable()
     result = simulate(
@@ -119,14 +148,30 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     stats = pstats.Stats(profiler, stream=sys.stdout)
     stats.sort_stats(args.sort)
-    stats.print_stats(args.top)
-    print(
-        f"simulated {result.cycles} DRAM cycles, "
-        f"{result.controller_stats['reads_served']} reads served"
-    )
+    if args.json:
+        summary = {
+            "mechanism": mechanism,
+            "channels": args.channels,
+            "nrh": args.nrh,
+            "accesses": args.accesses,
+            "strict_tick": args.strict_tick,
+            "sort": args.sort,
+            "cycles": result.cycles,
+            "reads_served": result.controller_stats["reads_served"],
+            "top": top_functions(stats, args.sort, args.top),
+        }
+        json.dump(summary, sys.stdout, indent=1)
+        sys.stdout.write("\n")
+    else:
+        stats.print_stats(args.top)
+        print(
+            f"simulated {result.cycles} DRAM cycles, "
+            f"{result.controller_stats['reads_served']} reads served"
+        )
     if args.out:
         stats.dump_stats(args.out)
-        print(f"raw pstats dumped to {args.out}")
+        if not args.json:
+            print(f"raw pstats dumped to {args.out}")
     return 0
 
 
